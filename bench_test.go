@@ -1,0 +1,194 @@
+package revtr_test
+
+// The benchmark harness regenerates every table and figure of the paper
+// (DESIGN.md §3 maps experiment IDs to paper artifacts). Each
+// BenchmarkExp_* drives the corresponding experiment end to end:
+//
+//	go test -bench=Exp_Table4 -benchtime=1x
+//	go test -bench=. -benchmem
+//
+// Experiments share deployments and workload caches, so the first
+// iteration of a family pays the build cost and later ones measure the
+// incremental analysis. Micro-benchmarks for the system's hot paths
+// (measurement, routing, forwarding) follow at the bottom.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"revtr"
+	"revtr/internal/campaign"
+	"revtr/internal/core"
+	"revtr/internal/eval"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+func benchExp(b *testing.B, id string) {
+	b.Helper()
+	e, ok := eval.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	s := eval.SmallScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One bench per paper artifact.
+
+func BenchmarkExp_Table2(b *testing.B)     { benchExp(b, "table2") }
+func BenchmarkExp_Table3(b *testing.B)     { benchExp(b, "table3") }
+func BenchmarkExp_Table4(b *testing.B)     { benchExp(b, "table4") }
+func BenchmarkExp_Table5(b *testing.B)     { benchExp(b, "table5") }
+func BenchmarkExp_Table6(b *testing.B)     { benchExp(b, "table6") }
+func BenchmarkExp_Table7(b *testing.B)     { benchExp(b, "table7") }
+func BenchmarkExp_Fig5a(b *testing.B)      { benchExp(b, "fig5a") }
+func BenchmarkExp_Fig5b(b *testing.B)      { benchExp(b, "fig5b") }
+func BenchmarkExp_Fig5c(b *testing.B)      { benchExp(b, "fig5c") }
+func BenchmarkExp_Fig6(b *testing.B)       { benchExp(b, "fig6") }
+func BenchmarkExp_Fig7(b *testing.B)       { benchExp(b, "fig7") }
+func BenchmarkExp_Fig8a(b *testing.B)      { benchExp(b, "fig8a") }
+func BenchmarkExp_Fig8b(b *testing.B)      { benchExp(b, "fig8b") }
+func BenchmarkExp_Fig9a(b *testing.B)      { benchExp(b, "fig9a") }
+func BenchmarkExp_Fig9b(b *testing.B)      { benchExp(b, "fig9b") }
+func BenchmarkExp_Fig9c(b *testing.B)      { benchExp(b, "fig9c") }
+func BenchmarkExp_Fig9d(b *testing.B)      { benchExp(b, "fig9d") }
+func BenchmarkExp_Fig11(b *testing.B)      { benchExp(b, "fig11") }
+func BenchmarkExp_Fig12(b *testing.B)      { benchExp(b, "fig12") }
+func BenchmarkExp_Fig13(b *testing.B)      { benchExp(b, "fig13") }
+func BenchmarkExp_Fig14(b *testing.B)      { benchExp(b, "fig14") }
+func BenchmarkExp_AppxD1(b *testing.B)     { benchExp(b, "appxD1") }
+func BenchmarkExp_AppxE(b *testing.B)      { benchExp(b, "appxE") }
+func BenchmarkExp_AppxB2(b *testing.B)     { benchExp(b, "appxB2") }
+func BenchmarkExp_Insights(b *testing.B)   { benchExp(b, "insights") }
+func BenchmarkExp_Ablation(b *testing.B)   { benchExp(b, "ablation") }
+func BenchmarkExp_Throughput(b *testing.B) { benchExp(b, "throughput") }
+
+// ---- micro-benchmarks of the system's hot paths ----
+
+var benchDep *revtr.Deployment
+
+func benchDeployment(b *testing.B) *revtr.Deployment {
+	b.Helper()
+	if benchDep == nil {
+		cfg := revtr.DefaultConfig(300)
+		cfg.Seed = 77
+		cfg.Topology.Seed = 77
+		benchDep = revtr.Build(cfg)
+	}
+	return benchDep
+}
+
+// BenchmarkMeasureReverse20 is the headline throughput number: complete
+// revtr 2.0 measurements per second (the paper's system sustains 173/s on
+// the real Internet with real RTTs; the simulator has none, so this
+// measures pure engine + fabric work).
+func BenchmarkMeasureReverse20(b *testing.B) {
+	d := benchDeployment(b)
+	src := d.NewSource(d.PickSourceHost(0))
+	eng := d.Engine(core.Revtr20Options())
+	dests := d.OnePerPrefix()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst := dests[i%len(dests)]
+		eng.MeasureReverse(src, dst.Addr)
+	}
+}
+
+func BenchmarkMeasureReverse10(b *testing.B) {
+	d := benchDeployment(b)
+	src := d.NewSource(d.PickSourceHost(1))
+	eng := d.Engine(core.Revtr10Options())
+	dests := d.OnePerPrefix()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst := dests[i%len(dests)]
+		eng.MeasureReverse(src, dst.Addr)
+	}
+}
+
+func BenchmarkTraceroute(b *testing.B) {
+	d := benchDeployment(b)
+	src := d.NewSource(d.PickSourceHost(0))
+	dests := d.OnePerPrefix()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Prober.Traceroute(src.Agent, dests[i%len(dests)].Addr)
+	}
+}
+
+func BenchmarkRRPing(b *testing.B) {
+	d := benchDeployment(b)
+	src := d.NewSource(d.PickSourceHost(0))
+	dests := d.OnePerPrefix()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Prober.RRPing(src.Agent, dests[i%len(dests)].Addr)
+	}
+}
+
+func BenchmarkBGPTreeTo(b *testing.B) {
+	d := benchDeployment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Routing.Invalidate()
+		d.Routing.TreeTo(topology.ASN(i % len(d.Topo.ASes)))
+	}
+}
+
+func BenchmarkTopologyGenerate(b *testing.B) {
+	cfg := topology.DefaultConfig(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		topology.Generate(cfg)
+	}
+}
+
+func BenchmarkAtlasBuild(b *testing.B) {
+	d := benchDeployment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.AtlasSvc.BuildFor(d.SiteAgents[i%len(d.SiteAgents)])
+	}
+}
+
+// BenchmarkCampaignParallel measures bulk topology-mapping throughput
+// (§5.1's "15M reverse traceroutes per day"): complete reverse
+// traceroutes per wall-clock second with per-source parallel workers.
+func BenchmarkCampaignParallel(b *testing.B) {
+	d := benchDeployment(b)
+	var sources []core.Source
+	for i := 0; i < 4 && i < len(d.SiteAgents); i++ {
+		sources = append(sources, d.SourceFromAgent(d.SiteAgents[i]))
+	}
+	var dsts []ipv4.Addr
+	for i, h := range d.OnePerPrefix() {
+		if i >= 50 {
+			break
+		}
+		dsts = append(dsts, h.Addr)
+	}
+	r := &campaign.Runner{D: d, Sources: sources, Opts: core.Revtr20Options()}
+	tasks := campaign.AllPairs(len(sources), dsts)
+	b.ResetTimer()
+	start := time.Now()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		sum := r.Run(tasks)
+		total += sum.Attempted
+	}
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(total)/el, "revtr/s")
+	}
+}

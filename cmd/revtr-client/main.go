@@ -1,0 +1,121 @@
+// Command revtr-client talks to a running revtr-server.
+//
+//	revtr-client -server http://localhost:8080 adduser -admin-key admin -name alice
+//	revtr-client -server ... -key KEY addsource -addr 16.0.128.1
+//	revtr-client -server ... -key KEY measure -src 16.0.128.1 -dst 16.12.128.1
+//	revtr-client -server ... get -id 0
+//	revtr-client -server ... sources
+//	revtr-client -server ... stats
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "server base URL")
+	key := flag.String("key", "", "API key (X-API-Key)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: revtr-client [flags] adduser|addsource|measure|get|sources|stats [subflags]")
+		os.Exit(2)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	c := &client{base: strings.TrimRight(*server, "/"), key: *key}
+
+	var err error
+	switch cmd {
+	case "adduser":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		adminKey := fs.String("admin-key", "admin", "admin key")
+		name := fs.String("name", "user", "user name")
+		parallel := fs.Int("parallel", 4, "max parallel measurements")
+		perDay := fs.Int("per-day", 1000, "max measurements per day")
+		_ = fs.Parse(args)
+		err = c.do("POST", "/api/v1/users",
+			map[string]string{"X-Admin-Key": *adminKey},
+			map[string]any{"name": *name, "maxParallel": *parallel, "maxPerDay": *perDay})
+	case "addsource":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		addr := fs.String("addr", "", "source address to register")
+		vp := fs.Bool("vp", false, "also serve as a record route vantage point")
+		_ = fs.Parse(args)
+		err = c.do("POST", "/api/v1/sources", nil,
+			map[string]any{"addr": *addr, "serveAsVP": *vp})
+	case "measure":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		src := fs.String("src", "", "registered source address")
+		dst := fs.String("dst", "", "comma-separated destination addresses")
+		_ = fs.Parse(args)
+		err = c.do("POST", "/api/v1/revtr", nil,
+			map[string]any{"src": *src, "dsts": strings.Split(*dst, ",")})
+	case "get":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		id := fs.Int("id", 0, "measurement id")
+		_ = fs.Parse(args)
+		err = c.do("GET", fmt.Sprintf("/api/v1/revtr/%d", *id), nil, nil)
+	case "sources":
+		err = c.do("GET", "/api/v1/sources", nil, nil)
+	case "stats":
+		err = c.do("GET", "/api/v1/stats", nil, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type client struct {
+	base, key string
+}
+
+// do sends one request and pretty-prints the JSON response.
+func (c *client) do(method, path string, headers map[string]string, body any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if c.key != "" {
+		req.Header.Set("X-API-Key", c.key)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") == nil {
+		fmt.Println(pretty.String())
+	} else {
+		fmt.Println(string(raw))
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Path asymmetry at scale (§6.2): measure forward and reverse paths
+// between vantage point sources and one destination per routed prefix,
+// then quantify how often Internet paths are asymmetric and which
+// networks are most often involved — the study that only becomes possible
+// once reverse paths are measurable at scale.
+//
+//	go run ./examples/asymmetry
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"revtr"
+	"revtr/internal/core"
+	"revtr/internal/ip2as"
+	"revtr/internal/netsim/topology"
+)
+
+func main() {
+	fmt.Println("building a 600-AS simulated Internet...")
+	cfg := revtr.DefaultConfig(600)
+	cfg.Seed = 9
+	cfg.Topology.Seed = 9
+	dep := revtr.Build(cfg)
+
+	src := dep.SourceFromAgent(dep.SiteAgents[0])
+	eng := dep.Engine(core.Revtr20Options())
+
+	type pairStat struct {
+		fwdLen, shared int
+	}
+	var (
+		pairs     []pairStat
+		symmetric int
+		total     int
+		involved  = map[topology.ASN]int{}
+		asymTotal = 0
+	)
+	for i, dst := range dep.OnePerPrefix() {
+		if i >= 400 || dst.AS == src.Agent.AS {
+			continue
+		}
+		fwd := dep.Prober.Traceroute(src.Agent, dst.Addr)
+		rev := eng.MeasureReverse(src, dst.Addr)
+		if !fwd.ReachedDst || rev.Status != core.StatusComplete {
+			continue
+		}
+		fAS := ip2as.ASPath(dep.Mapper, fwd.HopAddrs())
+		rAS := ip2as.ASPath(dep.Mapper, rev.Addrs())
+		rSet := map[topology.ASN]bool{}
+		for _, a := range rAS {
+			rSet[a] = true
+		}
+		shared := 0
+		for _, a := range fAS {
+			if rSet[a] {
+				shared++
+			}
+		}
+		total++
+		pairs = append(pairs, pairStat{fwdLen: len(fAS), shared: shared})
+		if shared == len(fAS) && len(fAS) == len(rAS) {
+			symmetric++
+			continue
+		}
+		asymTotal++
+		fSet := map[topology.ASN]bool{}
+		for _, a := range fAS {
+			fSet[a] = true
+		}
+		for _, a := range fAS {
+			if !rSet[a] {
+				involved[a]++
+			}
+		}
+		for _, a := range rAS {
+			if !fSet[a] {
+				involved[a]++
+			}
+		}
+	}
+
+	fmt.Printf("\nbidirectional pairs measured: %d\n", total)
+	fmt.Printf("AS-level symmetric: %d (%.0f%%)  — the paper found 53%%\n",
+		symmetric, 100*float64(symmetric)/float64(total))
+
+	// Which networks appear most often in asymmetric routing?
+	type row struct {
+		asn  topology.ASN
+		n    int
+		cone int
+		tier topology.Tier
+	}
+	var rows []row
+	for asn, n := range involved {
+		rows = append(rows, row{asn, n, dep.Topo.ASes[asn].ConeSize, dep.Topo.ASes[asn].Tier})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Println("\ntop networks involved in asymmetry (cf. Table 7):")
+	fmt.Println("  rank  ASN      tier     prevalence  customer-cone")
+	for i, r := range rows {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-4d  AS%-6d %-8s %.2f        %d\n",
+			i+1, r.asn, r.tier, float64(r.n)/float64(asymTotal), r.cone)
+	}
+}

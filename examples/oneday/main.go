@@ -1,0 +1,92 @@
+// One virtual day of operating the Reverse Traceroute service: routes
+// churn hour by hour, NDT speed tests trigger opportunistic measurements
+// (Appendix A), a user issues on-demand batches against their quota, and
+// at "midnight" the traceroute atlas is refreshed with the Random++
+// replacement policy (Appendix D.2) — retiring entries that were never
+// intersected and re-measuring the useful ones.
+//
+//	go run ./examples/oneday
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"revtr"
+	"revtr/internal/netsim/dynamics"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/service"
+)
+
+func main() {
+	fmt.Println("building a 400-AS simulated Internet...")
+	cfg := revtr.DefaultConfig(400)
+	cfg.Seed = 15
+	cfg.Topology.Seed = 15
+	dep := revtr.Build(cfg)
+	churn := dynamics.New(dep.Fabric, 15)
+	rng := rand.New(rand.NewSource(15))
+
+	reg := service.NewRegistry(service.NewDeploymentBackend(dep), "admin")
+	admin, _ := reg.AddUser("admin", "alice", 4, 500)
+
+	// Register one source through the service (bootstrap builds atlas).
+	srcHost := dep.PickSourceHost(0)
+	srcInfo, err := reg.RegisterSource(admin.APIKey, srcHost.Addr, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("source %s registered; atlas %d traceroutes\n\n", srcInfo.Addr, srcInfo.AtlasSize)
+
+	dests := dep.OnePerPrefix()
+	pick := func() ipv4.Addr {
+		for {
+			h := dests[rng.Intn(len(dests))]
+			if h.AS != srcHost.AS {
+				return h.Addr
+			}
+		}
+	}
+
+	var ndtRuns, userRuns, complete int
+	for hour := 0; hour < 24; hour++ {
+		// Routing drifts a little every hour.
+		churn.Step(0.01, 1)
+		dep.Prober.SetNow(int64(hour) * 3_600_000_000)
+
+		// NDT speed tests arrive (the M-Lab hook).
+		for i := 0; i < 5; i++ {
+			if m, err := reg.NDT(srcHost.Addr, pick()); err == nil && m != nil {
+				ndtRuns++
+				if m.Status == "complete" {
+					complete++
+				}
+			}
+		}
+		// The user runs an on-demand batch.
+		for i := 0; i < 3; i++ {
+			if m, err := reg.Measure(admin.APIKey, srcHost.Addr, pick()); err == nil {
+				userRuns++
+				if m.Status == "complete" {
+					complete++
+				}
+			}
+		}
+		if hour%6 == 5 {
+			st := reg.Stats()
+			fmt.Printf("hour %2d: %d measurements archived (links down: %d)\n",
+				hour+1, st.Measurements, churn.DownCount())
+		}
+	}
+
+	fmt.Printf("\nday's traffic: %d NDT-triggered + %d on-demand, %d complete\n",
+		ndtRuns, userRuns, complete)
+
+	// Midnight: the service's daily maintenance refreshes every source's
+	// atlas (Random++: entries intersected during the day are kept and
+	// re-measured; the rest are replaced) and rolls the quotas.
+	useful, total, _ := reg.UsefulEntries(srcHost.Addr)
+	sizes := reg.DailyMaintenance()
+	fmt.Printf("midnight atlas refresh: %d entries (%d marked useful) -> %d entries, all fresh\n",
+		total, useful, sizes[srcHost.Addr.String()])
+}

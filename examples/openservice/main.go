@@ -1,0 +1,104 @@
+// The open system end to end (Appendix A): start the Reverse Traceroute
+// service over a simulated Internet, create a user, register a source
+// (bootstrap), run measurements through the REST API, and read them back —
+// all over real HTTP on a loopback port.
+//
+//	go run ./examples/openservice
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"revtr"
+	"revtr/internal/service"
+)
+
+func main() {
+	fmt.Println("building a 400-AS simulated Internet...")
+	cfg := revtr.DefaultConfig(400)
+	cfg.Seed = 21
+	cfg.Topology.Seed = 21
+	dep := revtr.Build(cfg)
+
+	reg := service.NewRegistry(service.NewDeploymentBackend(dep), "admin-secret")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, service.NewAPI(reg)) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service listening at %s\n\n", base)
+
+	// 1. The operator adds a user.
+	var user service.User
+	mustPost(base+"/api/v1/users", map[string]string{"X-Admin-Key": "admin-secret"},
+		map[string]any{"name": "alice", "maxPerDay": 100}, &user)
+	fmt.Printf("created user %q (key %s...)\n", user.Name, user.APIKey[:8])
+
+	// 2. The user registers their host as a source; the service
+	// bootstraps it (RR reachability check + traceroute atlas).
+	srcHost := dep.PickSourceHost(0)
+	var src service.SourceInfo
+	mustPost(base+"/api/v1/sources", map[string]string{"X-API-Key": user.APIKey},
+		map[string]any{"addr": srcHost.Addr.String()}, &src)
+	fmt.Printf("registered source %s: atlas of %d traceroutes\n\n", src.Addr, src.AtlasSize)
+
+	// 3. Measure reverse paths from three arbitrary destinations.
+	var dsts []string
+	for _, h := range dep.OnePerPrefix() {
+		if h.AS != srcHost.AS {
+			dsts = append(dsts, h.Addr.String())
+		}
+		if len(dsts) == 3 {
+			break
+		}
+	}
+	var measurements []service.Measurement
+	mustPost(base+"/api/v1/revtr", map[string]string{"X-API-Key": user.APIKey},
+		map[string]any{"src": src.Addr, "dsts": dsts}, &measurements)
+	for _, m := range measurements {
+		fmt.Printf("measurement %d: %s -> %s  status=%s  probes=%d\n",
+			m.ID, m.Dst, m.Src, m.Status, m.Probes)
+		for i, hop := range m.Hops {
+			fmt.Printf("  %2d  %-15s  %s\n", i, hop.Addr, hop.Technique)
+		}
+	}
+
+	// 4. Read one measurement back from the archive.
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/revtr/%d", base, measurements[0].ID))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\narchived measurement %d: %d bytes of JSON\n", measurements[0].ID, len(raw))
+}
+
+func mustPost(url string, headers map[string]string, body, out any) {
+	b, _ := json.Marshal(body)
+	req, err := http.NewRequest("POST", url, bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

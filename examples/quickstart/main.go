@@ -1,0 +1,76 @@
+// Quickstart: build a small simulated Internet, register a Reverse
+// Traceroute source, and measure reverse paths from a few uncontrolled
+// destinations back to it — then compare one against the ground-truth
+// reverse path that only the simulator can see.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"revtr"
+	"revtr/internal/core"
+)
+
+func main() {
+	// Build the world: topology, BGP routes, vantage points, alias and
+	// IP-to-AS datasets, ingress survey — everything the paper's system
+	// operates (Appendix A).
+	fmt.Println("building a 500-AS simulated Internet (with ingress survey)...")
+	cfg := revtr.DefaultConfig(500)
+	dep := revtr.Build(cfg)
+	fmt.Printf("  %s\n", dep.Topo.Stats())
+	fmt.Printf("  %d vantage point sites, %d atlas probes\n\n",
+		len(dep.SiteAgents), len(dep.Probes))
+
+	// Register a source: this is the user-visible operation of the open
+	// system — it bootstraps the source's traceroute atlas and the §4.2
+	// RR-alias measurements.
+	srcHost := dep.PickSourceHost(0)
+	fmt.Printf("registering source %s (AS%d)...\n", srcHost.Addr, srcHost.AS)
+	src := dep.NewSource(srcHost)
+	fmt.Printf("  atlas: %d traceroutes\n\n", src.Atlas.Size())
+
+	// Measure reverse paths with the revtr 2.0 engine.
+	eng := dep.Engine(core.Revtr20Options())
+	dests := dep.OnePerPrefix()
+	shown := 0
+	for _, dst := range dests {
+		if dst.AS == srcHost.AS {
+			continue
+		}
+		res := eng.MeasureReverse(src, dst.Addr)
+		if res.Status != core.StatusComplete {
+			continue
+		}
+		shown++
+		fmt.Printf("reverse path from %s (AS%d) back to %s:\n", dst.Addr, dst.AS, srcHost.Addr)
+		for i, hop := range res.Hops {
+			star := ""
+			if hop.SuspectBefore {
+				star = "  (* possible missing hop before)"
+			}
+			fmt.Printf("  %2d  %-15s  via %-12s%s\n", i, hop.Addr, hop.Tech, star)
+		}
+		fmt.Printf("  probes used: %d, virtual duration: %.1fs, symmetry assumptions: %d\n\n",
+			res.Probes.Total(), float64(res.DurationUS)/1e6, res.SymAssumed)
+
+		if shown == 1 {
+			// Only the simulator can do this part: compare against truth.
+			truth := dep.TrueReversePath(dst, srcHost.Addr)
+			fmt.Println("  ground-truth reverse routers (simulator's omniscient view):")
+			fmt.Print("   ")
+			for _, r := range truth {
+				fmt.Printf(" r%d(AS%d)", r, dep.Topo.Routers[r].AS)
+			}
+			fmt.Print("\n\n")
+		}
+		if shown >= 3 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Println("no complete measurements — try a different seed")
+	}
+}

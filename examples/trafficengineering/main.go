@@ -1,0 +1,129 @@
+// Traffic engineering with reverse traceroutes (§6.1): anycast a prefix
+// from three sites, use reverse path measurements to find the transit
+// network carrying routes to a high-latency site, and steer it away with
+// BGP poisoning — the PEERING case study in miniature.
+//
+//	go run ./examples/trafficengineering
+package main
+
+import (
+	"fmt"
+
+	"revtr"
+	"revtr/internal/core"
+	"revtr/internal/ip2as"
+	"revtr/internal/measure"
+	"revtr/internal/netsim/bgp"
+	"revtr/internal/netsim/fabric"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+func main() {
+	fmt.Println("building a 500-AS simulated Internet...")
+	cfg := revtr.DefaultConfig(500)
+	cfg.Seed = 7
+	cfg.Topology.Seed = 7
+	dep := revtr.Build(cfg)
+
+	// Anycast a testbed prefix from three sites at different upstreams.
+	transits := dep.Topo.ASesByTier(topology.Transit)
+	colos := dep.Topo.ASesByTier(topology.Colo)
+	ups := []topology.ASN{transits[0], transits[len(transits)/2], colos[0]}
+	names := []string{"site-A", "site-B", "site-C"}
+	ann := &bgp.Announcement{
+		Prefix: ipv4.MustParsePrefix("198.51.100.0/24"),
+		Origin: topology.ASN(len(dep.Topo.ASes)),
+	}
+	group := &fabric.AnycastGroup{
+		Prefix:      ann.Prefix,
+		ServiceAddr: ipv4.MustParseAddr("198.51.100.1"),
+	}
+	for i, up := range ups {
+		ann.Sites = append(ann.Sites, bgp.AnnSite{
+			Name:      names[i],
+			Neighbors: []bgp.AnnNeighbor{{ASN: up, Rel: topology.RelCustomer}},
+		})
+		group.Sites = append(group.Sites, fabric.AnycastSite{
+			Name: names[i], Via: up, Router: dep.Topo.ASes[up].Borders[0],
+		})
+	}
+
+	apply := func() *bgp.Routes {
+		routes := bgp.Compute(dep.Topo, ann, dep.Routing.TieBreakFn(), dep.Routing.Pref())
+		group.Routes = routes
+		dep.Fabric.ClearAnycast()
+		dep.Fabric.AddAnycast(group)
+		return routes
+	}
+
+	catchments := func() map[string]int {
+		out := map[string]int{}
+		for i, h := range dep.OnePerPrefix() {
+			if i >= 300 {
+				break
+			}
+			pr := dep.Prober.Ping(measure.AgentFromHost(dep.Topo, h), group.ServiceAddr)
+			if pr.Site >= 0 {
+				out[names[pr.Site]]++
+			}
+		}
+		return out
+	}
+
+	apply()
+	fmt.Printf("baseline catchments: %v\n", catchments())
+
+	// Measure reverse paths with the anycast address as the source — the
+	// capability the paper argues only Reverse Traceroute provides.
+	src := dep.SourceFromAgent(measure.Agent{
+		Name: "anycast", Addr: group.ServiceAddr,
+		Router: group.Sites[0].Router, AS: ups[0], Site: 0,
+	})
+	eng := dep.Engine(core.Revtr20Options())
+	carriers := map[topology.ASN]int{}
+	measured := 0
+	for i, h := range dep.OnePerPrefix() {
+		if i >= 120 {
+			break
+		}
+		res := eng.MeasureReverse(src, h.Addr)
+		if res.Status != core.StatusComplete {
+			continue
+		}
+		measured++
+		for _, asn := range ip2as.ASPath(dep.Mapper, res.Addrs()) {
+			if dep.Topo.ASes[asn].Tier == topology.Transit || dep.Topo.ASes[asn].Tier == topology.Tier1 {
+				carriers[asn]++
+			}
+		}
+	}
+	var carrier topology.ASN = topology.None
+	best := 0
+	for asn, n := range carriers {
+		if n > best && asn != ups[0] && asn != ups[1] && asn != ups[2] {
+			carrier, best = asn, n
+		}
+	}
+	fmt.Printf("measured %d reverse paths; dominant carrier: AS%d (on %d paths)\n",
+		measured, carrier, best)
+	if carrier == topology.None {
+		fmt.Println("no carrier found; done")
+		return
+	}
+
+	// Steer the carrier away from the site it currently routes to by
+	// poisoning it on that site's announcement, then re-measure.
+	routes := apply()
+	target := routes.Per[carrier].Site
+	if target < 0 {
+		fmt.Println("carrier has no route; done")
+		return
+	}
+	fmt.Printf("the carrier routes to %s; poisoning AS%d on that announcement...\n",
+		names[target], carrier)
+	ann.Sites[target].Poison = []topology.ASN{carrier}
+	apply()
+	fmt.Printf("catchments after poisoning: %v\n", catchments())
+	fmt.Println("(the carrier's routes, and everything behind them, shifted to the other sites)")
+}

@@ -1,0 +1,3 @@
+module revtr
+
+go 1.23

@@ -1,0 +1,241 @@
+// Package atlas implements the traceroute atlas (Q1) and the RR-atlas
+// intersection technique (Q2, §4.2).
+//
+// An Atlas holds traceroutes from distributed probes toward one Reverse
+// Traceroute source. A reverse traceroute that reaches any hop of an atlas
+// traceroute can, under destination-based routing, adopt the traceroute's
+// remaining suffix toward the source. Because routers expose different
+// addresses to traceroute (ingress interfaces) and to Record Route (egress
+// interfaces, loopbacks, …), the atlas also issues background RR probes to
+// every traceroute hop to learn, ahead of time, which RR-visible addresses
+// correspond to which traceroute position — so runtime intersection is a
+// pure map lookup with no online alias resolution.
+package atlas
+
+import (
+	"revtr/internal/alias"
+	"revtr/internal/measure"
+	"revtr/internal/netsim/ipv4"
+)
+
+// Entry is one atlas traceroute: the hop addresses measured from a probe
+// toward the source, oldest-first (the last hop is at/near the source).
+type Entry struct {
+	ID           int
+	ProbeName    string
+	ProbeAS      int32
+	Hops         []ipv4.Addr // responsive traceroute hops, in order toward the source
+	MeasuredAtUS int64
+	// Useful records whether any reverse traceroute intersected this
+	// entry since the last refresh — the Random++ replacement signal
+	// (Appx D.2.1).
+	Useful bool
+	// Stale is set by the staleness auditor when a fresh re-measurement
+	// disagrees (Fig 9d).
+	Stale bool
+}
+
+// hopRef locates a hop within the atlas.
+type hopRef struct {
+	entry *Entry
+	pos   int
+}
+
+// Intersection is a successful atlas lookup: the reverse path has reached
+// Entry.Hops[Pos], so the rest of the reverse path follows the suffix.
+type Intersection struct {
+	Entry *Entry
+	Pos   int
+	// Suffix is the remaining path toward the source, excluding the
+	// matched hop itself.
+	Suffix []ipv4.Addr
+	// ViaRRAlias reports whether the match came from the RR-atlas
+	// aliases rather than a direct traceroute address.
+	ViaRRAlias bool
+}
+
+// Atlas is the per-source traceroute atlas.
+type Atlas struct {
+	Source  measure.Agent
+	Entries []*Entry
+
+	nextID  int
+	index   map[ipv4.Addr]hopRef // direct traceroute hop addresses
+	rrIndex map[ipv4.Addr]hopRef // RR-visible aliases per hop (§4.2)
+}
+
+// New creates an empty atlas for a source.
+func New(source measure.Agent) *Atlas {
+	return &Atlas{
+		Source:  source,
+		index:   make(map[ipv4.Addr]hopRef),
+		rrIndex: make(map[ipv4.Addr]hopRef),
+	}
+}
+
+// Add inserts a traceroute measured at nowUS. Hops must be ordered toward
+// the source and contain only responsive hops.
+func (a *Atlas) Add(probeName string, probeAS int32, hops []ipv4.Addr, nowUS int64) *Entry {
+	e := &Entry{
+		ID:           a.nextID,
+		ProbeName:    probeName,
+		ProbeAS:      probeAS,
+		Hops:         hops,
+		MeasuredAtUS: nowUS,
+	}
+	a.nextID++
+	a.Entries = append(a.Entries, e)
+	for i, h := range hops {
+		// First writer wins: earlier entries keep their hop claims so
+		// suffixes stay internally consistent.
+		if _, dup := a.index[h]; !dup {
+			a.index[h] = hopRef{entry: e, pos: i}
+		}
+	}
+	return e
+}
+
+// Remove deletes an entry and its index claims.
+func (a *Atlas) Remove(e *Entry) {
+	for i := range a.Entries {
+		if a.Entries[i] == e {
+			a.Entries = append(a.Entries[:i], a.Entries[i+1:]...)
+			break
+		}
+	}
+	drop := func(idx map[ipv4.Addr]hopRef) {
+		for k, ref := range idx {
+			if ref.entry == e {
+				delete(idx, k)
+			}
+		}
+	}
+	drop(a.index)
+	drop(a.rrIndex)
+}
+
+// Lookup checks whether addr is on (or RR-aliases to) an atlas traceroute
+// and returns the suffix toward the source.
+func (a *Atlas) Lookup(addr ipv4.Addr) (Intersection, bool) {
+	if ref, ok := a.index[addr]; ok {
+		return Intersection{
+			Entry:  ref.entry,
+			Pos:    ref.pos,
+			Suffix: ref.entry.Hops[ref.pos+1:],
+		}, true
+	}
+	if ref, ok := a.rrIndex[addr]; ok {
+		return Intersection{
+			Entry:      ref.entry,
+			Pos:        ref.pos,
+			Suffix:     ref.entry.Hops[ref.pos+1:],
+			ViaRRAlias: true,
+		}, true
+	}
+	return Intersection{}, false
+}
+
+// SitePicker selects spoofing vantage points for a background RR probe
+// toward target (closest-first). The deployment wires this to the ingress
+// service so RR-atlas probes use the §4.3 vantage point selection.
+type SitePicker func(target ipv4.Addr) []measure.Agent
+
+// BuildRRAliases issues the §4.2 background measurements for entry e:
+// an RR ping from the source (or spoofed as the source from vantage
+// points near the hop) to each traceroute hop, recording which RR-visible
+// addresses correspond to which traceroute positions.
+//
+// Alignment of RR stamps to traceroute positions uses, in order: identity
+// (ingress-stamping routers), the /30 point-to-point heuristic (an RR
+// egress stamp shares the /30 of the next hop's traceroute ingress), the
+// alias dataset, and finally sequential inference (Appx B.1).
+func (a *Atlas) BuildRRAliases(p *measure.Prober, pick SitePicker, res alias.Resolver, e *Entry) {
+	var p2p alias.Slash30
+	for i, h := range e.Hops {
+		rr := p.RRPing(a.Source, h)
+		if !rr.Responded || len(rr.Recorded) == 0 {
+			// Out of direct range or unresponsive: spoof from up to
+			// three vantage points near the hop.
+			tried := 0
+			for _, s := range pick(h) {
+				if !s.CanSpoof || s.Addr == a.Source.Addr {
+					continue
+				}
+				rr = p.SpoofedRRPing(s, a.Source.Addr, h)
+				tried++
+				if rr.Responded && len(rr.Recorded) > 0 {
+					break
+				}
+				if tried >= 3 {
+					break
+				}
+			}
+		}
+		if !rr.Responded {
+			continue
+		}
+		a.associate(rr.Recorded, e, i, res, p2p)
+	}
+}
+
+// FixedSites adapts a static site list into a SitePicker.
+func FixedSites(sites []measure.Agent) SitePicker {
+	return func(ipv4.Addr) []measure.Agent { return sites }
+}
+
+// associate aligns the recorded RR addresses of a probe to hop position
+// probedPos of entry e and fills rrIndex.
+func (a *Atlas) associate(recorded []ipv4.Addr, e *Entry, probedPos int, res alias.Resolver, p2p alias.Slash30) {
+	h := e.Hops[probedPos]
+	// Find the marker: the first recorded address attributable to the
+	// probed hop's router or its ingress link.
+	marker := -1
+	for k, x := range recorded {
+		if x == h || p2p.SameLink(x, h) || (res != nil && res.SameRouter(x, h)) {
+			marker = k
+			break
+		}
+	}
+	if marker < 0 {
+		return
+	}
+	// Addresses from the marker on belong to positions probedPos,
+	// probedPos+1, …: refine with identity//30 matches against the
+	// traceroute, fall back to sequential inference.
+	pos := probedPos
+	for k := marker; k < len(recorded); k++ {
+		x := recorded[k]
+		matched := false
+		for j := pos; j < len(e.Hops) && j <= pos+2; j++ {
+			if x == e.Hops[j] ||
+				(j+1 < len(e.Hops) && p2p.SameLink(x, e.Hops[j+1])) ||
+				(res != nil && res.SameRouter(x, e.Hops[j])) {
+				pos = j
+				matched = true
+				break
+			}
+		}
+		if !matched && k > marker {
+			pos++ // sequential inference
+		}
+		if pos >= len(e.Hops) {
+			break
+		}
+		if _, dup := a.index[x]; dup {
+			continue
+		}
+		if _, dup := a.rrIndex[x]; !dup {
+			a.rrIndex[x] = hopRef{entry: e, pos: pos}
+		}
+	}
+}
+
+// ResetUseful clears the per-refresh usefulness marks.
+func (a *Atlas) ResetUseful() {
+	for _, e := range a.Entries {
+		e.Useful = false
+	}
+}
+
+// Size returns the number of traceroutes currently in the atlas.
+func (a *Atlas) Size() int { return len(a.Entries) }

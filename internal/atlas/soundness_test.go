@@ -1,0 +1,85 @@
+package atlas_test
+
+import (
+	"testing"
+
+	"revtr/internal/atlas"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/simtest"
+)
+
+// TestIntersectionSoundness is the atlas's core correctness property: if
+// Lookup(x) says the reverse path continues along Suffix toward the
+// source, then a packet at that hop reaches the source through routers
+// consistent with the suffix. The property is statistical, not absolute —
+// per-flow load balancers pick among equal-cost paths by flow identifier
+// and destination-based-routing violators by packet source (Appx E), both
+// of which the paper documents as rare sources of divergence. The test
+// verifies against ground truth and asserts the violation rate stays in
+// the paper's "rare" regime.
+func TestIntersectionSoundness(t *testing.T) {
+	env := simtest.New(t, 300, 12)
+	src := env.Agent(env.SourceHost(0))
+	at := atlas.New(src)
+
+	added := 0
+	for _, p := range env.Probes {
+		if p.Agent.AS == src.AS {
+			continue
+		}
+		tr := env.Prober.Traceroute(p.Agent, src.Addr)
+		if !tr.ReachedDst {
+			continue
+		}
+		at.Add(p.Agent.Name, int32(p.Agent.AS), tr.HopAddrs(), 0)
+		added++
+		if added >= 30 {
+			break
+		}
+	}
+	if added == 0 {
+		t.Skip("no atlas entries")
+	}
+
+	checked, violations := 0, 0
+	for _, e := range at.Entries {
+		for i, h := range e.Hops[:len(e.Hops)-1] {
+			x, ok := at.Lookup(h)
+			if !ok || x.Entry != e || x.Pos != i {
+				continue // hop owned by an earlier entry: checked there
+			}
+			router, isRouter := env.Topo.RouterOf(h)
+			if !isRouter {
+				continue
+			}
+			truth := env.Fabric.ForwardRouterPath(router, src.Addr, h, 0)
+			if truth == nil {
+				continue
+			}
+			onPath := map[ipv4.Addr]bool{src.Addr: true}
+			for _, r := range truth {
+				for _, a := range env.Topo.Aliases(r) {
+					onPath[a] = true
+				}
+			}
+			for _, sfx := range x.Suffix {
+				if _, isHost := env.Topo.HostOf(sfx); isHost {
+					continue // the source endpoint itself
+				}
+				checked++
+				if !onPath[sfx] {
+					violations++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no verifiable suffix hops")
+	}
+	rate := float64(violations) / float64(checked)
+	t.Logf("verified %d suffix hops; %d diverge (%.1f%%, load balancing / DBR violators)",
+		checked, violations, 100*rate)
+	if rate > 0.10 {
+		t.Fatalf("intersection violation rate %.1f%% exceeds the rare-divergence regime", 100*rate)
+	}
+}

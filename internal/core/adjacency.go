@@ -1,0 +1,77 @@
+package core
+
+import (
+	"revtr/internal/measure"
+	"revtr/internal/netsim/ipv4"
+)
+
+// AdjacencyProvider supplies candidate next reverse hops for the
+// Timestamp technique (Q4): routers seen adjacent to an address in
+// traceroute corpora. revtr 1.0 used the iPlane dataset; our
+// reimplementation extracts adjacencies from recent traceroutes, like the
+// paper's "links found in the Ark traceroutes from the two previous
+// weeks" (§5.2.1).
+type AdjacencyProvider interface {
+	// Adjacent returns candidate neighbors of addr to test with
+	// tsprespec probes, ordered most-likely first.
+	Adjacent(addr, src ipv4.Addr) []ipv4.Addr
+}
+
+// NoAdjacencies is the empty provider (revtr 2.0 does not use TS).
+type NoAdjacencies struct{}
+
+// Adjacent implements AdjacencyProvider.
+func (NoAdjacencies) Adjacent(_, _ ipv4.Addr) []ipv4.Addr { return nil }
+
+// TracerouteAdjacencies accumulates hop adjacencies from traceroutes (an
+// Ark-corpus analogue). Both orientations are recorded: the reverse path
+// traverses links in the opposite direction.
+type TracerouteAdjacencies struct {
+	adj map[ipv4.Addr][]ipv4.Addr
+}
+
+// NewTracerouteAdjacencies creates an empty corpus.
+func NewTracerouteAdjacencies() *TracerouteAdjacencies {
+	return &TracerouteAdjacencies{adj: make(map[ipv4.Addr][]ipv4.Addr)}
+}
+
+// Ingest records the adjacencies of one traceroute.
+func (t *TracerouteAdjacencies) Ingest(tr measure.TracerouteResult) {
+	hops := tr.HopAddrs()
+	for i := 0; i+1 < len(hops); i++ {
+		t.add(hops[i], hops[i+1])
+		t.add(hops[i+1], hops[i])
+	}
+}
+
+func (t *TracerouteAdjacencies) add(a, b ipv4.Addr) {
+	for _, x := range t.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	t.adj[a] = append(t.adj[a], b)
+}
+
+// Adjacent implements AdjacencyProvider.
+func (t *TracerouteAdjacencies) Adjacent(addr, _ ipv4.Addr) []ipv4.Addr { return t.adj[addr] }
+
+// Size returns the number of addresses with known adjacencies.
+func (t *TracerouteAdjacencies) Size() int { return len(t.adj) }
+
+// OracleAdjacencies returns the true next reverse hop — the Appendix D.1
+// upper bound ("perfect (unrealistic) information about adjacencies"). It
+// is backed by a ground-truth callback rather than measurements.
+type OracleAdjacencies struct {
+	// NextReverse returns the true next hop address from addr toward
+	// src, or zero.
+	NextReverse func(addr, src ipv4.Addr) ipv4.Addr
+}
+
+// Adjacent implements AdjacencyProvider.
+func (o OracleAdjacencies) Adjacent(addr, src ipv4.Addr) []ipv4.Addr {
+	if n := o.NextReverse(addr, src); !n.IsZero() {
+		return []ipv4.Addr{n}
+	}
+	return nil
+}

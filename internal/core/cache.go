@@ -1,0 +1,70 @@
+package core
+
+import (
+	"revtr/internal/measure"
+	"revtr/internal/netsim/ipv4"
+)
+
+// cache reuses RR revelations and forward traceroutes across reverse
+// traceroutes within a TTL window (Insight 1.4: most paths are stable, so
+// measurements can be cached for a day). Keys include the source because
+// reverse hops depend on the destination of the reply.
+type cache struct {
+	ttlUS int64
+	rr    map[cacheKey]rrEntry
+	tr    map[cacheKey]trEntry
+}
+
+type cacheKey struct {
+	target ipv4.Addr
+	src    ipv4.Addr
+}
+
+type rrEntry struct {
+	revHops []ipv4.Addr
+	tech    Technique
+	atUS    int64
+}
+
+type trEntry struct {
+	tr   measure.TracerouteResult
+	atUS int64
+}
+
+func newCache(ttlUS int64) *cache {
+	return &cache{
+		ttlUS: ttlUS,
+		rr:    make(map[cacheKey]rrEntry),
+		tr:    make(map[cacheKey]trEntry),
+	}
+}
+
+func (c *cache) getRR(target, src ipv4.Addr, nowUS int64) ([]ipv4.Addr, Technique, bool) {
+	e, ok := c.rr[cacheKey{target, src}]
+	if !ok || nowUS-e.atUS > c.ttlUS {
+		return nil, 0, false
+	}
+	return e.revHops, e.tech, true
+}
+
+func (c *cache) putRR(target, src ipv4.Addr, hops []ipv4.Addr, tech Technique, nowUS int64) {
+	c.rr[cacheKey{target, src}] = rrEntry{revHops: hops, tech: tech, atUS: nowUS}
+}
+
+func (c *cache) getTraceroute(target, src ipv4.Addr, nowUS int64) (measure.TracerouteResult, bool) {
+	e, ok := c.tr[cacheKey{target, src}]
+	if !ok || nowUS-e.atUS > c.ttlUS {
+		return measure.TracerouteResult{}, false
+	}
+	return e.tr, true
+}
+
+func (c *cache) putTraceroute(target, src ipv4.Addr, tr measure.TracerouteResult, nowUS int64) {
+	c.tr[cacheKey{target, src}] = trEntry{tr: tr, atUS: nowUS}
+}
+
+// Flush drops everything (used between experiment phases).
+func (c *cache) Flush() {
+	c.rr = make(map[cacheKey]rrEntry)
+	c.tr = make(map[cacheKey]trEntry)
+}

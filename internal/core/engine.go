@@ -1,0 +1,528 @@
+package core
+
+import (
+	"revtr/internal/alias"
+	"revtr/internal/atlas"
+	"revtr/internal/ingress"
+	"revtr/internal/ip2as"
+	"revtr/internal/measure"
+	"revtr/internal/netsim/fabric"
+	"revtr/internal/netsim/ipv4"
+)
+
+// Source is a Reverse Traceroute source: an endpoint the user controls,
+// with its traceroute atlas (built at registration, Appx A).
+type Source struct {
+	Agent measure.Agent
+	Atlas *atlas.Atlas
+}
+
+// Hop is one hop of a measured reverse path, destination first.
+type Hop struct {
+	Addr ipv4.Addr
+	Tech Technique
+	// SuspectBefore flags a possible missing hop ("*") before this hop:
+	// the AS-level link into it is not a known adjacency (§5.2.2).
+	SuspectBefore bool
+	// DBRSuspect flags a hop whose router answered redundant probes with
+	// a different next hop — a destination-based-routing violator
+	// (Appendix E's optional detection).
+	DBRSuspect bool
+}
+
+// Result is a completed (or abandoned) reverse traceroute.
+type Result struct {
+	Src, Dst ipv4.Addr
+	Status   Status
+	// Hops runs from the destination to the source inclusive.
+	Hops []Hop
+
+	// SymAssumed counts symmetry assumptions taken; InterdomainAssumed
+	// counts those crossing AS boundaries (only possible under
+	// SymAlways).
+	SymAssumed         int
+	InterdomainAssumed int
+
+	// Probes is the packet budget this measurement consumed.
+	Probes measure.Counters
+	// DurationUS is the virtual wall-clock cost (spoofed batches wait
+	// out a 10 s timeout each, §5.2.4).
+	DurationUS   int64
+	SpoofBatches int
+
+	// AtlasUses lists atlas traceroutes this measurement intersected and
+	// the hop position adopted.
+	AtlasUses []AtlasUse
+}
+
+// AtlasUse records one atlas intersection of a measurement.
+type AtlasUse struct {
+	Entry *atlas.Entry
+	Pos   int
+}
+
+// Addrs returns the hop addresses, destination first.
+func (r *Result) Addrs() []ipv4.Addr {
+	out := make([]ipv4.Addr, len(r.Hops))
+	for i, h := range r.Hops {
+		out[i] = h.Addr
+	}
+	return out
+}
+
+// HasSuspect reports whether any hop carries the missing-hop flag.
+func (r *Result) HasSuspect() bool {
+	for _, h := range r.Hops {
+		if h.SuspectBefore {
+			return true
+		}
+	}
+	return false
+}
+
+// Engine measures reverse paths.
+type Engine struct {
+	F       *fabric.Fabric
+	P       *measure.Prober
+	Ingress *ingress.Service
+	Sites   []measure.Agent
+	Alias   alias.Resolver
+	Mapper  ip2as.Mapper
+	Adj     AdjacencyProvider
+	Opts    Options
+
+	// Debugf, when set, receives a line per engine decision (tests and
+	// diagnostics only).
+	Debugf func(format string, args ...any)
+
+	cache *cache
+}
+
+// NewEngine assembles an engine. adj may be nil (no Timestamp
+// adjacencies).
+func NewEngine(f *fabric.Fabric, p *measure.Prober, ing *ingress.Service, sites []measure.Agent,
+	res alias.Resolver, mapper ip2as.Mapper, adj AdjacencyProvider, opts Options) *Engine {
+	if adj == nil {
+		adj = NoAdjacencies{}
+	}
+	if opts.MaxHops == 0 {
+		opts.MaxHops = 40
+	}
+	return &Engine{
+		F: f, P: p, Ingress: ing, Sites: sites,
+		Alias: res, Mapper: mapper, Adj: adj, Opts: opts,
+		cache: newCache(opts.CacheTTLUS),
+	}
+}
+
+// FlushCache drops cached measurements (e.g. between experiment phases).
+func (e *Engine) FlushCache() { e.cache.Flush() }
+
+// MeasureReverse measures the reverse path from dst back to src,
+// implementing the Fig 2 control flow.
+func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
+	before := e.P.Count
+	res := &Result{
+		Src:  src.Agent.Addr,
+		Dst:  dst,
+		Hops: []Hop{{Addr: dst, Tech: TechDestination}},
+	}
+	defer func() {
+		res.Probes = e.P.Count.Sub(before)
+		e.flagSuspects(res)
+	}()
+
+	cur := dst
+	visited := map[ipv4.Addr]bool{dst: true}
+	var excludeAS int32 = -1
+	if e.Opts.ExcludeAtlasFromDstAS {
+		if asn, ok := e.Mapper.ASOf(dst); ok {
+			excludeAS = int32(asn)
+		}
+	}
+
+	for step := 0; step < e.Opts.MaxHops; step++ {
+		if e.reachedSource(cur, src) {
+			e.finish(res, src)
+			return res
+		}
+
+		// Step 1: does the current hop intersect a traceroute to S?
+		if x, ok := e.atlasLookup(src, cur, excludeAS); ok {
+			x.Entry.Useful = true
+			res.AtlasUses = append(res.AtlasUses, AtlasUse{Entry: x.Entry, Pos: x.Pos})
+			for _, h := range x.Suffix {
+				res.Hops = append(res.Hops, Hop{Addr: h, Tech: TechTrIntersect})
+			}
+			e.finish(res, src)
+			return res
+		}
+
+		// Step 2: Record Route.
+		rev := e.revealRR(src, cur)
+		res.DurationUS += rev.elapsedUS
+		res.SpoofBatches += rev.batches
+		if len(rev.hops) > 0 {
+			dbrSuspect := false
+			if e.Opts.DetectDBRViolations {
+				dbrSuspect = e.checkDBR(src, cur, rev.hops[0])
+			}
+			for i, h := range rev.hops {
+				res.Hops = append(res.Hops, Hop{Addr: h, Tech: rev.tech, DBRSuspect: i == 0 && dbrSuspect})
+			}
+			next := lastProbeable(rev.hops)
+			if !next.IsZero() && !visited[next] {
+				visited[next] = true
+				cur = next
+				continue
+			}
+			// All new hops private or already seen: fall through to the
+			// remaining techniques from the last public hop.
+			if !next.IsZero() {
+				cur = next
+			}
+		}
+
+		// Step 3: Timestamp adjacency testing (Q4; revtr 1.0 only).
+		if e.Opts.UseTimestamp {
+			if next, rtt := e.tryTimestamp(src, cur); !next.IsZero() {
+				res.DurationUS += rtt
+				if !visited[next] {
+					visited[next] = true
+					res.Hops = append(res.Hops, Hop{Addr: next, Tech: TechTS})
+					cur = next
+					continue
+				}
+			} else {
+				res.DurationUS += rtt
+			}
+		}
+
+		// Step 4: forward traceroute + symmetry assumption (Q5). For the
+		// destination itself the traceroute must actually reach it — a
+		// host that answered nothing gives no evidence a reverse path
+		// exists at all.
+		penult, intra, adjacent, rtt, ok := e.penultimateHop(src, cur, cur == dst)
+		res.DurationUS += rtt
+		if adjacent {
+			// The traceroute reaches cur within the source's first-hop
+			// neighborhood: the only gap left is the source's own
+			// attachment, a (usually intradomain) symmetry assumption
+			// away.
+			intra = ip2as.SameAS(e.Mapper, cur, src.Agent.Addr)
+			if e.Opts.Symmetry == SymIntraOnly && !intra || e.Opts.Symmetry == SymNever {
+				res.Status = StatusAborted
+				return res
+			}
+			res.SymAssumed++
+			if !intra {
+				res.InterdomainAssumed++
+			}
+			e.finish(res, src)
+			return res
+		}
+		if !ok {
+			if e.Debugf != nil {
+				e.Debugf("fail: no penultimate for cur=%s (hops=%d)", cur, len(res.Hops))
+			}
+			res.Status = StatusFailed
+			return res
+		}
+		switch e.Opts.Symmetry {
+		case SymAlways:
+			// revtr 1.0: assume regardless, at known accuracy cost.
+		case SymIntraOnly:
+			if !intra {
+				res.Status = StatusAborted
+				return res
+			}
+		case SymNever:
+			res.Status = StatusAborted
+			return res
+		}
+		res.SymAssumed++
+		if !intra {
+			res.InterdomainAssumed++
+		}
+		if visited[penult] {
+			if e.Debugf != nil {
+				e.Debugf("fail: penultimate %s already visited (cur=%s)", penult, cur)
+			}
+			res.Status = StatusFailed
+			return res
+		}
+		visited[penult] = true
+		res.Hops = append(res.Hops, Hop{Addr: penult, Tech: TechSymmetry})
+		cur = penult
+	}
+	res.Status = StatusFailed
+	return res
+}
+
+// reachedSource reports whether addr is the source or sits on the
+// source's first-hop router.
+func (e *Engine) reachedSource(addr ipv4.Addr, src Source) bool {
+	if addr == src.Agent.Addr {
+		return true
+	}
+	if r, ok := e.F.Topo.RouterOf(addr); ok && r == src.Agent.Router {
+		return true
+	}
+	return false
+}
+
+// finish closes a completed path, appending the source hop if the last
+// measured hop is not already it.
+func (e *Engine) finish(res *Result, src Source) {
+	if len(res.Hops) == 0 || res.Hops[len(res.Hops)-1].Addr != src.Agent.Addr {
+		res.Hops = append(res.Hops, Hop{Addr: src.Agent.Addr, Tech: TechSource})
+	}
+	res.Status = StatusComplete
+}
+
+// atlasLookup applies the configuration's intersection rules.
+func (e *Engine) atlasLookup(src Source, cur ipv4.Addr, excludeAS int32) (atlas.Intersection, bool) {
+	if src.Atlas == nil {
+		return atlas.Intersection{}, false
+	}
+	x, ok := src.Atlas.Lookup(cur)
+	if !ok {
+		return atlas.Intersection{}, false
+	}
+	if excludeAS >= 0 && x.Entry.ProbeAS == excludeAS {
+		return atlas.Intersection{}, false
+	}
+	if x.ViaRRAlias && !e.Opts.UseRRAtlas {
+		return atlas.Intersection{}, false
+	}
+	if e.Opts.AtlasMaxAgeUS > 0 && e.P.Now()-x.Entry.MeasuredAtUS > e.Opts.AtlasMaxAgeUS {
+		return atlas.Intersection{}, false
+	}
+	return x, true
+}
+
+// revealed is the outcome of the RR step.
+type revealed struct {
+	hops      []ipv4.Addr
+	tech      Technique
+	batches   int
+	elapsedUS int64
+}
+
+// revealRR uncovers reverse hops from cur toward the source: first a
+// direct RR ping from the source (Fig 1b), then spoofed RR pings from
+// vantage points chosen by the configured policy, in batches (Fig 1c–d).
+func (e *Engine) revealRR(src Source, cur ipv4.Addr) revealed {
+	if e.Opts.UseCache {
+		if hops, tech, ok := e.cache.getRR(cur, src.Agent.Addr, e.P.Now()); ok {
+			return revealed{hops: hops, tech: tech}
+		}
+	}
+	var out revealed
+
+	// Direct RR from the source.
+	rr := e.P.RRPing(src.Agent, cur)
+	out.elapsedUS += rr.RTTUS
+	if rr.Responded {
+		if hops := extractReverse(rr.Recorded, cur, e.Alias); len(hops) > 0 {
+			out.hops, out.tech = hops, TechRR
+			if e.Opts.UseCache {
+				e.cache.putRR(cur, src.Agent.Addr, hops, TechRR, e.P.Now())
+			}
+			return out
+		}
+	}
+
+	// Spoofed RR from selected vantage points.
+	pfx, ok := e.F.Topo.BGPPrefixOf(cur)
+	if !ok {
+		return out
+	}
+	plan := e.Ingress.PlanFor(pfx, e.Opts.VPSelection)
+	tried := 0
+	for start := 0; start < len(plan.Order); start += e.Opts.BatchSize {
+		end := start + e.Opts.BatchSize
+		if end > len(plan.Order) {
+			end = len(plan.Order)
+		}
+		out.batches++
+		out.elapsedUS += e.Opts.SpoofTimeoutUS
+		var best []ipv4.Addr
+		for _, si := range plan.Order[start:end] {
+			site := e.Sites[si]
+			if site.Addr == src.Agent.Addr {
+				continue // that would be the direct probe again
+			}
+			srr := e.P.SpoofedRRPing(site, src.Agent.Addr, cur)
+			tried++
+			if !srr.Responded {
+				continue
+			}
+			if hops := extractReverse(srr.Recorded, cur, e.Alias); len(hops) > len(best) {
+				best = hops
+			}
+		}
+		if len(best) > 0 {
+			out.hops, out.tech = best, TechSpoofRR
+			if e.Opts.UseCache {
+				e.cache.putRR(cur, src.Agent.Addr, best, TechSpoofRR, e.P.Now())
+			}
+			return out
+		}
+		if tried >= e.Opts.MaxSpoofVPs {
+			break
+		}
+	}
+	return out
+}
+
+// checkDBR implements Appendix E's optional redundancy: re-reveal the
+// next hop after cur and report whether a consistent disagreement with
+// firstNext was observed. Two extra probes distinguish violators
+// (deterministic, source-dependent next hops) from per-packet load
+// balancers (random next hops), which do not harm accuracy.
+func (e *Engine) checkDBR(src Source, cur, firstNext ipv4.Addr) bool {
+	observed := map[ipv4.Addr]bool{firstNext: true}
+	got := 0
+	for k := 0; k < 2; k++ {
+		rr := e.P.RRPing(src.Agent, cur)
+		hops := extractReverse(rr.Recorded, cur, e.Alias)
+		if len(hops) == 0 {
+			// Direct probe out of range: one spoofed try.
+			pfx, ok := e.F.Topo.BGPPrefixOf(cur)
+			if !ok {
+				continue
+			}
+			plan := e.Ingress.PlanFor(pfx, e.Opts.VPSelection)
+			if len(plan.Order) == 0 {
+				continue
+			}
+			srr := e.P.SpoofedRRPing(e.Sites[plan.Order[0]], src.Agent.Addr, cur)
+			hops = extractReverse(srr.Recorded, cur, e.Alias)
+		}
+		if len(hops) > 0 {
+			got++
+			observed[hops[0]] = true
+		}
+	}
+	if got == 0 || len(observed) == 1 {
+		return false
+	}
+	// Multiple distinct next hops: if every repeat disagreed with every
+	// other, it is random per-packet balancing, not a violation. With
+	// only three samples we flag when exactly two distinct values were
+	// seen and the repeats agreed with each other.
+	return len(observed) == 2
+}
+
+// tryTimestamp tests traceroute-derived adjacencies of cur with
+// tsprespec probes ⟨cur, adjacency⟩ (Fig 1e). A reply stamping both
+// addresses proves the adjacency is on the reverse path.
+func (e *Engine) tryTimestamp(src Source, cur ipv4.Addr) (ipv4.Addr, int64) {
+	var elapsed int64
+	adjs := e.Adj.Adjacent(cur, src.Agent.Addr)
+	n := 0
+	for _, adj := range adjs {
+		if n >= e.Opts.MaxTSAdjacencies {
+			break
+		}
+		if adj.IsPrivate() || adj == cur {
+			continue
+		}
+		n++
+		ts := e.P.TSPing(src.Agent, cur, []ipv4.Addr{cur, adj})
+		elapsed += ts.RTTUS
+		if !ts.Responded {
+			// Some hops only answer options probes arriving on other
+			// paths; try once spoofed from a site (Table 4's spoof-TS).
+			for _, site := range e.Sites {
+				if !site.CanSpoof || site.Addr == src.Agent.Addr {
+					continue
+				}
+				ts = e.P.SpoofedTSPing(site, src.Agent.Addr, cur, []ipv4.Addr{cur, adj})
+				elapsed += ts.RTTUS
+				break
+			}
+		}
+		if ts.Responded && len(ts.Stamped) == 2 && ts.Stamped[0] && ts.Stamped[1] {
+			return adj, elapsed
+		}
+	}
+	return 0, elapsed
+}
+
+// penultimateHop issues (or reuses) a forward traceroute from the source
+// to cur and classifies the last link (Q5). Returns the penultimate hop,
+// whether the (penultimate, cur) link is intradomain under the engine's
+// IP-to-AS mapping, whether cur sits inside the source's first-hop
+// neighborhood (traceroute reaches it in ≤2 hops with no responsive
+// penultimate), the elapsed time, and whether a usable hop was found.
+func (e *Engine) penultimateHop(src Source, cur ipv4.Addr, requireReached bool) (penult ipv4.Addr, intra, adjacent bool, elapsedOut int64, ok bool) {
+	var tr measure.TracerouteResult
+	var elapsed int64
+	if e.Opts.UseCache {
+		if c, ok := e.cache.getTraceroute(cur, src.Agent.Addr, e.P.Now()); ok {
+			tr = c
+		}
+	}
+	if tr.Hops == nil {
+		tr = e.P.Traceroute(src.Agent, cur)
+		elapsed = tr.RTTUS
+		if e.Opts.UseCache {
+			e.cache.putTraceroute(cur, src.Agent.Addr, tr, e.P.Now())
+		}
+	}
+	if requireReached && !tr.ReachedDst {
+		return 0, false, false, elapsed, false
+	}
+	hops := tr.HopAddrs()
+	// When the traceroute reaches cur, hops ends with cur's echo reply
+	// and the penultimate responsive hop precedes it. When cur itself
+	// does not answer (common for option-responsive but ping-filtered
+	// hops), the last responsive hop stands in as the penultimate — the
+	// symmetry policy still gates whether it is usable.
+	last := len(hops) - 1
+	if tr.ReachedDst {
+		last = len(hops) - 2
+	}
+	for i := last; i >= 0; i-- {
+		if !hops[i].IsPrivate() {
+			penult = hops[i]
+			break
+		}
+	}
+	if penult.IsZero() || penult == cur {
+		// No usable penultimate. If cur is within two hops of the
+		// source (counting silent hops), the gap is the source's own
+		// first-hop region.
+		if tr.ReachedDst && len(tr.Hops) <= 2 {
+			return 0, false, true, elapsed, false
+		}
+		return 0, false, false, elapsed, false
+	}
+	return penult, ip2as.SameAS(e.Mapper, penult, cur), false, elapsed, true
+}
+
+// flagSuspects inserts "*" markers where the AS-level path crosses a link
+// that is not a known AS adjacency — the §5.2.2 heuristic for routers
+// that forward RR packets without stamping. Private (unmappable) hops are
+// visible as private addresses and need no flag.
+func (e *Engine) flagSuspects(res *Result) {
+	topo := e.F.Topo
+	prevAS := int32(-1)
+	prevIdx := -1
+	for i := range res.Hops {
+		a := res.Hops[i].Addr
+		asn, ok := e.Mapper.ASOf(a)
+		if !ok {
+			continue
+		}
+		if prevIdx >= 0 && int32(asn) != prevAS {
+			if topo.ASes[prevAS].Neighbor(asn) == nil {
+				res.Hops[i].SuspectBefore = true
+			}
+		}
+		prevAS = int32(asn)
+		prevIdx = i
+	}
+}

@@ -1,0 +1,173 @@
+// Package core implements the Reverse Traceroute engine: the Fig 2
+// control flow that measures the path from an arbitrary destination D back
+// to a controlled source S by stitching together traceroute-atlas
+// intersections, (spoofed) Record Route revelations, optional Timestamp
+// adjacency tests, and restricted symmetry assumptions.
+//
+// The engine is parameterized so one codebase expresses both systems the
+// paper compares (§5.2.1): revtr 1.0 (set-cover VP selection, Timestamp,
+// unconditional symmetry assumptions) and revtr 2.0 (ingress-based VP
+// selection, RR-atlas intersections, intradomain-only symmetry, caching),
+// plus every intermediate configuration of Table 4's ablation.
+package core
+
+import (
+	"revtr/internal/ingress"
+)
+
+// SymmetryPolicy controls Q5: what to do when no technique finds the next
+// reverse hop.
+type SymmetryPolicy int
+
+const (
+	// SymAlways assumes the penultimate traceroute hop is on the reverse
+	// path regardless of AS ownership (revtr 1.0).
+	SymAlways SymmetryPolicy = iota
+	// SymIntraOnly assumes symmetry only when the link is intradomain,
+	// aborting otherwise (revtr 2.0; intradomain symmetry holds 90% of
+	// the time vs 57% interdomain, Table 2).
+	SymIntraOnly
+	// SymNever aborts whenever a symmetry assumption would be needed.
+	SymNever
+)
+
+// Options selects the engine configuration.
+type Options struct {
+	// VPSelection picks the spoofed-RR vantage point policy (Q3).
+	VPSelection ingress.Selection
+	// UseRRAtlas enables §4.2 RR-alias intersections with the traceroute
+	// atlas (Q2). The atlas must have been built with RR aliases.
+	UseRRAtlas bool
+	// UseTimestamp enables the IP Timestamp adjacency technique (Q4).
+	UseTimestamp bool
+	// UseCache reuses RR and traceroute measurements for CacheTTLUS
+	// across reverse traceroutes (Insight 1.4).
+	UseCache bool
+	// Symmetry is the Q5 policy.
+	Symmetry SymmetryPolicy
+
+	// BatchSize is the number of spoofed VPs probed per round (3 in
+	// revtr 2.0, §5.3).
+	BatchSize int
+	// SpoofTimeoutUS is the wall-clock cost of each spoofed batch: the
+	// system cannot know when all spoofed replies have arrived, so it
+	// waits out a timeout (10 s, §5.2.4).
+	SpoofTimeoutUS int64
+	// MaxSpoofVPs bounds the total vantage points tried per stuck hop.
+	MaxSpoofVPs int
+	// MaxTSAdjacencies bounds Timestamp probes per stuck hop.
+	MaxTSAdjacencies int
+	// CacheTTLUS is the measurement reuse window (one day).
+	CacheTTLUS int64
+	// AtlasMaxAgeUS rejects atlas entries older than this (0 = no limit).
+	AtlasMaxAgeUS int64
+	// ExcludeAtlasFromDstAS ignores atlas traceroutes measured from
+	// probes in the destination's AS — the §5.2.1 evaluation rule that
+	// keeps the system from trivially "measuring" a path by reading the
+	// ground-truth traceroute.
+	ExcludeAtlasFromDstAS bool
+	// DetectDBRViolations enables Appendix E's optional redundancy: each
+	// Record Route revelation is re-measured, and hops whose next hop
+	// differs consistently across probes (i.e. not per-packet load
+	// balancing) are flagged DBRSuspect. Costs roughly one extra RR
+	// probe per revelation; off in both standard configurations.
+	DetectDBRViolations bool
+	// MaxHops bounds the reverse path length.
+	MaxHops int
+}
+
+// Revtr20Options returns the revtr 2.0 configuration.
+func Revtr20Options() Options {
+	return Options{
+		VPSelection:      ingress.SelIngress,
+		UseRRAtlas:       true,
+		UseTimestamp:     false,
+		UseCache:         true,
+		Symmetry:         SymIntraOnly,
+		BatchSize:        3,
+		SpoofTimeoutUS:   10_000_000,
+		MaxSpoofVPs:      12,
+		MaxTSAdjacencies: 10,
+		CacheTTLUS:       24 * 3_600_000_000,
+		MaxHops:          40,
+	}
+}
+
+// Revtr10Options returns the revtr 1.0 configuration (as reimplemented in
+// §5.2.1: same vantage points and atlas, original algorithms).
+func Revtr10Options() Options {
+	o := Revtr20Options()
+	o.VPSelection = ingress.SelSetCover
+	o.UseRRAtlas = false
+	o.UseTimestamp = true
+	o.UseCache = false
+	o.Symmetry = SymAlways
+	// revtr 1.0 tried vantage points until one reached the destination.
+	o.MaxSpoofVPs = 200
+	return o
+}
+
+// Technique records how a reverse hop was measured.
+type Technique uint8
+
+const (
+	// TechDestination marks the starting hop D.
+	TechDestination Technique = iota
+	// TechTrIntersect: adopted from an atlas traceroute intersection.
+	TechTrIntersect
+	// TechRR: revealed by a direct Record Route ping from the source.
+	TechRR
+	// TechSpoofRR: revealed by a spoofed Record Route ping.
+	TechSpoofRR
+	// TechTS: confirmed by an IP Timestamp adjacency test.
+	TechTS
+	// TechSymmetry: assumed from the penultimate forward-traceroute hop.
+	TechSymmetry
+	// TechSource marks the source S.
+	TechSource
+)
+
+func (t Technique) String() string {
+	switch t {
+	case TechDestination:
+		return "dst"
+	case TechTrIntersect:
+		return "tr-intersect"
+	case TechRR:
+		return "rr"
+	case TechSpoofRR:
+		return "spoof-rr"
+	case TechTS:
+		return "ts"
+	case TechSymmetry:
+		return "assume-sym"
+	case TechSource:
+		return "src"
+	}
+	return "?"
+}
+
+// Status is the outcome of a reverse traceroute.
+type Status uint8
+
+const (
+	// StatusComplete: the path was measured back to the source.
+	StatusComplete Status = iota
+	// StatusAborted: measuring on would have required an interdomain
+	// symmetry assumption (Insight 1.10) — revtr 2.0 returns nothing
+	// rather than risk a wrong path.
+	StatusAborted
+	// StatusFailed: the destination was unresponsive or the engine ran
+	// out of techniques/hops.
+	StatusFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusComplete:
+		return "complete"
+	case StatusAborted:
+		return "aborted"
+	}
+	return "failed"
+}

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"revtr"
+	"revtr/internal/core"
+	"revtr/internal/measure"
+	"revtr/internal/netsim/topology"
+	"revtr/internal/vantage"
+)
+
+// Deployments are expensive (topology generation + ingress survey), so
+// experiments sharing a scale share one.
+var (
+	depMu    sync.Mutex
+	depCache = map[string]*revtr.Deployment{}
+)
+
+func deployment(s Scale, vintage vantage.Vintage) *revtr.Deployment {
+	key := fmt.Sprintf("%d/%d/%d/%d/%d/%d", s.ASes, s.Sites, s.Probes, s.AtlasSize, s.Seed, vintage)
+	depMu.Lock()
+	defer depMu.Unlock()
+	if d, ok := depCache[key]; ok {
+		return d
+	}
+	cfg := revtr.Config{
+		Topology:      topology.DefaultConfig(s.ASes),
+		Sites:         s.Sites,
+		Vintage:       vintage,
+		Probes:        s.Probes,
+		ProbeCredits:  1 << 30,
+		AtlasSize:     s.AtlasSize,
+		AliasCoverage: 0.35,
+		Seed:          s.Seed,
+	}
+	cfg.Topology.Seed = s.Seed
+	d := revtr.Build(cfg)
+	depCache[key] = d
+	return d
+}
+
+// deploymentNoSurvey builds a 2020 deployment without the ingress survey,
+// for experiments that issue all probes themselves (Table 6, Fig 11).
+func deploymentNoSurvey(s Scale) *revtr.Deployment {
+	key := fmt.Sprintf("nosurvey/%d/%d/%d/%d/%d", s.ASes, s.Sites, s.Probes, s.AtlasSize, s.Seed)
+	depMu.Lock()
+	defer depMu.Unlock()
+	if d, ok := depCache[key]; ok {
+		return d
+	}
+	cfg := revtr.Config{
+		Topology:      topology.DefaultConfig(s.ASes),
+		Sites:         s.Sites,
+		Vintage:       vantage.Vintage2020,
+		Probes:        s.Probes,
+		ProbeCredits:  1 << 30,
+		AtlasSize:     s.AtlasSize,
+		AliasCoverage: 0.35,
+		Seed:          s.Seed,
+		SkipSurvey:    true,
+	}
+	cfg.Topology.Seed = s.Seed
+	d := revtr.Build(cfg)
+	depCache[key] = d
+	return d
+}
+
+// deployment2016 builds the pre-flattening variant for Table 6 / Fig 11.
+func deployment2016(s Scale) *revtr.Deployment {
+	key := fmt.Sprintf("2016/%d/%d/%d/%d/%d", s.ASes, s.Sites, s.Probes, s.AtlasSize, s.Seed)
+	depMu.Lock()
+	defer depMu.Unlock()
+	if d, ok := depCache[key]; ok {
+		return d
+	}
+	cfg := revtr.Config{
+		Topology:      topology.Config2016(s.ASes),
+		Sites:         s.Sites / 2, // fewer sites existed in 2016
+		Vintage:       vantage.Vintage2016,
+		Probes:        s.Probes,
+		ProbeCredits:  1 << 30,
+		AtlasSize:     s.AtlasSize,
+		AliasCoverage: 0.35,
+		Seed:          s.Seed,
+		SkipSurvey:    true, // Table 6 / Fig 11 only issue their own probes
+	}
+	cfg.Topology.Seed = s.Seed
+	d := revtr.Build(cfg)
+	depCache[key] = d
+	return d
+}
+
+// ResetDeployments clears the cache (tests that mutate deployments).
+func ResetDeployments() {
+	depMu.Lock()
+	defer depMu.Unlock()
+	depCache = map[string]*revtr.Deployment{}
+}
+
+// sourcesFor registers the first n vantage point sites as Reverse
+// Traceroute sources with atlases (the paper's sources are the M-Lab
+// sites).
+func sourcesFor(d *revtr.Deployment, n int) []core.Source {
+	if n > len(d.SiteAgents) {
+		n = len(d.SiteAgents)
+	}
+	out := make([]core.Source, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.SourceFromAgent(d.SiteAgents[i]))
+	}
+	return out
+}
+
+// probeDestinations returns probe hosts usable as reverse traceroute
+// destinations (the §5.2.1 workload measures from RIPE Atlas probes to
+// M-Lab; the probes "are all configured to respond to record route").
+func probeDestinations(d *revtr.Deployment) []measure.Agent {
+	var out []measure.Agent
+	for _, p := range d.Probes {
+		out = append(out, p.Agent)
+	}
+	return out
+}

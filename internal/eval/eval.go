@@ -1,0 +1,206 @@
+// Package eval reproduces every table and figure of the paper's
+// evaluation (§5, §6, and the appendices) against the simulated Internet.
+// Each experiment is a named function that runs a workload, computes the
+// paper's metric, and renders the same rows or series the paper reports.
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured results.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// ASes in the generated topology.
+	ASes int
+	// Sites / Probes / AtlasSize size the measurement infrastructure.
+	Sites     int
+	Probes    int
+	AtlasSize int
+	// Pairs bounds ⟨destination, source⟩ measurement pairs per
+	// experiment; Sources bounds how many sources are exercised.
+	Pairs   int
+	Sources int
+	Seed    int64
+}
+
+// SmallScale runs in seconds — used by tests.
+func SmallScale() Scale {
+	return Scale{ASes: 300, Sites: 12, Probes: 60, AtlasSize: 25, Pairs: 120, Sources: 2, Seed: 42}
+}
+
+// MediumScale is the default for the eval CLI and benches.
+func MediumScale() Scale {
+	return Scale{ASes: 1000, Sites: 30, Probes: 300, AtlasSize: 120, Pairs: 500, Sources: 4, Seed: 42}
+}
+
+// LargeScale approaches the paper's relative proportions.
+func LargeScale() Scale {
+	return Scale{ASes: 4000, Sites: 60, Probes: 600, AtlasSize: 150, Pairs: 2000, Sources: 8, Seed: 42}
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Paper string // which paper artifact it regenerates
+	Run   func(s Scale, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(id, paper string, run func(Scale, io.Writer) error) {
+	registry = append(registry, Experiment{ID: id, Paper: paper, Run: run})
+}
+
+// Experiments lists all registered experiments in registration order.
+func Experiments() []Experiment { return registry }
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- metric helpers ----
+
+// Dist is an empirical distribution.
+type Dist struct{ xs []float64 }
+
+// Add appends a sample.
+func (d *Dist) Add(x float64) { d.xs = append(d.xs, x) }
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.xs) }
+
+// Mean returns the sample mean (0 for empty).
+func (d *Dist) Mean() float64 {
+	if len(d.xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range d.xs {
+		s += x
+	}
+	return s / float64(len(d.xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the samples.
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), d.xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// FracAtLeast returns the fraction of samples ≥ x (a CCDF point).
+func (d *Dist) FracAtLeast(x float64) float64 {
+	if len(d.xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range d.xs {
+		if v >= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.xs))
+}
+
+// FracAtMost returns the fraction of samples ≤ x (a CDF point).
+func (d *Dist) FracAtMost(x float64) float64 {
+	if len(d.xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range d.xs {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.xs))
+}
+
+// CCDFRow renders CCDF points for the given thresholds.
+func (d *Dist) CCDFRow(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = d.FracAtLeast(x)
+	}
+	return out
+}
+
+// CDFRow renders CDF points for the given thresholds.
+func (d *Dist) CDFRow(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = d.FracAtMost(x)
+	}
+	return out
+}
+
+// ---- table rendering ----
+
+// Table renders aligned text tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// F formats a float for table cells.
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// Pct formats a fraction as a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"bytes"
+	"revtr/internal/netsim/topology"
+	"strings"
+	"testing"
+)
+
+func TestDist(t *testing.T) {
+	var d Dist
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		d.Add(x)
+	}
+	if d.Mean() != 3 {
+		t.Errorf("mean %f", d.Mean())
+	}
+	if d.Quantile(0.5) != 3 {
+		t.Errorf("median %f", d.Quantile(0.5))
+	}
+	if d.FracAtLeast(4) != 0.4 {
+		t.Errorf("ccdf %f", d.FracAtLeast(4))
+	}
+	if d.FracAtMost(2) != 0.4 {
+		t.Errorf("cdf %f", d.FracAtMost(2))
+	}
+	rows := d.CCDFRow([]float64{1, 3, 6})
+	if rows[0] != 1 || rows[2] != 0 {
+		t.Errorf("ccdf row %v", rows)
+	}
+	var empty Dist
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 || empty.FracAtLeast(1) != 0 {
+		t.Error("empty dist not zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow("x", "y")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "x") {
+		t.Errorf("rendered:\n%s", out)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table3", "table4", "table5", "table6", "table7",
+		"fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8a", "fig8b",
+		"fig9a", "fig9b", "fig9c", "fig9d", "fig11", "fig12", "fig13", "fig14",
+		"appxD1", "appxE", "appxB2", "insights", "ablation", "throughput",
+	}
+	for _, id := range want {
+		if _, ok := Find(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, ok := Find("nonsense"); ok {
+		t.Error("phantom experiment found")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if !asPathsEqual(asns(1, 2, 3), asns(1, 2, 3)) {
+		t.Error("equal paths unequal")
+	}
+	if asPathsEqual(asns(1, 2), asns(1, 2, 3)) {
+		t.Error("unequal lengths equal")
+	}
+	if !asSubsequence(asns(1, 3), asns(1, 2, 3)) {
+		t.Error("subsequence not found")
+	}
+	if asSubsequence(asns(3, 1), asns(1, 2, 3)) {
+		t.Error("reversed subsequence found")
+	}
+	if f, ok := asFracSeen(asns(1, 2), asns(2, 9)); !ok || f != 0.5 {
+		t.Errorf("frac %v %v", f, ok)
+	}
+}
+
+func asns(xs ...topology.ASN) []topology.ASN { return xs }

@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"revtr"
+	"revtr/internal/netsim/ipv4"
+)
+
+// Table 6 + Fig 11 (Appx F): Record Route responsiveness and reachability
+// surveys, on the 2020 deployment versus a 2016-style pre-flattening
+// Internet with education-hosted vantage points. Also quantifies the
+// Insight 1.3 claim: spoofing nearly doubles the fraction of
+// ⟨source, destination⟩ pairs for which reverse hops can be measured.
+
+type surveyStats struct {
+	probed      int
+	pingResp    int
+	rrResp      int
+	reachable8  int  // some VP within 8 RR hops
+	distToVP    Dist // closest-VP RR distance for RR-responsive dests
+	pairInRange int  // ⟨src,dst⟩ pairs with the src itself within 8 hops
+	pairTotal   int
+}
+
+// runSurvey measures one destination per announced prefix from every site.
+func runSurvey(d *revtr.Deployment, maxDests int) surveyStats {
+	var st surveyStats
+	dests := d.FirstHostPerPrefix() // raw population, no responsiveness filter
+	if len(dests) > maxDests {
+		dests = dests[:maxDests]
+	}
+	for _, h := range dests {
+		st.probed++
+		// Three plain pings.
+		alive := false
+		for k := 0; k < 3 && !alive; k++ {
+			alive = d.Prober.Ping(d.SiteAgents[k%len(d.SiteAgents)], h.Addr).Alive
+		}
+		if !alive {
+			continue
+		}
+		st.pingResp++
+		// One RR ping per site; track the closest distance at which the
+		// destination's stamp appears.
+		best := -1
+		responded := false
+		for si, vp := range d.SiteAgents {
+			rr := d.Prober.RRPing(vp, h.Addr)
+			if !rr.Responded {
+				continue
+			}
+			responded = true
+			dist := rrDistanceTo(rr.Recorded, h.Addr)
+			if dist > 0 && (best < 0 || dist < best) {
+				best = dist
+			}
+			st.pairTotal++
+			if dist > 0 && dist <= 8 {
+				st.pairInRange++
+			}
+			_ = si
+		}
+		if responded {
+			st.rrResp++
+		}
+		if best > 0 {
+			st.distToVP.Add(float64(best))
+			if best <= 8 {
+				st.reachable8++
+			}
+		}
+	}
+	return st
+}
+
+// rrDistanceTo finds the 1-based slot position of the destination's stamp
+// (or its /30 forward marker) in the recorded array — the RR distance from
+// the prober.
+func rrDistanceTo(recorded []ipv4.Addr, dst ipv4.Addr) int {
+	for k, x := range recorded {
+		if x == dst {
+			return k + 1
+		}
+	}
+	// Non-stamping destination: fall back to the /30 marker.
+	for k, x := range recorded {
+		if x != dst && (x.Mask(30) == dst.Mask(30)) {
+			return k + 1
+		}
+	}
+	return -1
+}
+
+func init() {
+	register("table6", "Table 6: RR responsiveness and reachability, 2016 vs 2020", func(s Scale, w io.Writer) error {
+		d20 := deploymentNoSurvey(s)
+		d16 := deployment2016(s)
+		st20 := runSurvey(d20, 2*s.Pairs)
+		st16 := runSurvey(d16, 2*s.Pairs)
+		t := &Table{
+			Title:  "Table 6 — destination survey",
+			Header: []string{"metric", "2016-style", "2020-style"},
+		}
+		row := func(name string, f func(surveyStats) string) {
+			t.AddRow(name, f(st16), f(st20))
+		}
+		row("all probed", func(s surveyStats) string { return fmt.Sprint(s.probed) })
+		row("ping responsive", func(s surveyStats) string {
+			return fmt.Sprintf("%d (%s)", s.pingResp, Pct(float64(s.pingResp)/float64(max(1, s.probed))))
+		})
+		row("RR responsive", func(s surveyStats) string {
+			return fmt.Sprintf("%d (%s)", s.rrResp, Pct(float64(s.rrResp)/float64(max(1, s.probed))))
+		})
+		row("RR-reachable in <=8 hops", func(s surveyStats) string {
+			return fmt.Sprintf("%d (%s of RR-responsive)", s.reachable8, Pct(float64(s.reachable8)/float64(max(1, s.rrResp))))
+		})
+		t.Fprint(w)
+		fmt.Fprintf(w, "  paper: RR-responsive ~57-58%% of probed both years; 62-63%% of RR-responsive within 8 hops\n\n")
+		return nil
+	})
+
+	register("fig11", "Fig 11 + Appx F: closest-VP RR distance, 2016 vs 2020; spoofing gain", func(s Scale, w io.Writer) error {
+		d20 := deploymentNoSurvey(s)
+		d16 := deployment2016(s)
+		st20 := runSurvey(d20, 2*s.Pairs)
+		st16 := runSurvey(d16, 2*s.Pairs)
+		t := &Table{
+			Title:  "Fig 11 — CDF of RR hops from the closest VP (RR-responsive destinations)",
+			Header: []string{"deployment", "<=2", "<=4", "<=6", "<=8"},
+		}
+		for _, x := range []struct {
+			name string
+			st   surveyStats
+		}{{"2016-style", st16}, {"2020-style", st20}} {
+			r := x.st.distToVP.CDFRow([]float64{2, 4, 6, 8})
+			t.AddRow(x.name, Pct(r[0]), Pct(r[1]), Pct(r[2]), Pct(r[3]))
+		}
+		t.Fprint(w)
+		fmt.Fprintf(w, "  paper: within-4-hops jumps from 16%% (2016) to 39%% (2020)\n")
+		// Insight 1.3: without spoofing a pair works only when that
+		// particular source is in range; with spoofing the closest VP
+		// serves every source.
+		noSpoof := float64(st20.pairInRange) / float64(max(1, st20.pairTotal))
+		withSpoof := float64(st20.reachable8) / float64(max(1, st20.rrResp))
+		fmt.Fprintf(w, "  spoofing coverage: %s of pairs without spoofing vs %s of destinations with (paper: 32%% vs 63%%)\n\n",
+			Pct(noSpoof), Pct(withSpoof))
+		return nil
+	})
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtSmallScale is the integration smoke test for the
+// full harness: every registered experiment must run to completion at
+// small scale and produce non-trivial output.
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take ~30s combined")
+	}
+	s := SmallScale()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(s, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() < 40 {
+				t.Fatalf("%s produced almost no output:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}
+
+// TestFig5ShapesHold asserts the paper's qualitative results at small
+// scale: revtr 2.0 uses far fewer probes than revtr 1.0, has higher
+// AS-level accuracy, and gives up some coverage to get it.
+func TestFig5ShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig5 workload")
+	}
+	s := MediumScale()
+	f := runFig5(s)
+	r10 := f.byName["revtr1.0"]
+	r20 := f.byName["revtr2.0"]
+
+	if r20.counters.Total() >= r10.counters.Total() {
+		t.Errorf("revtr2.0 probes (%d) not fewer than revtr1.0 (%d)",
+			r20.counters.Total(), r10.counters.Total())
+	}
+	if r20.counters.TS != 0 || r20.counters.SpoofTS != 0 {
+		t.Error("revtr2.0 sent Timestamp probes")
+	}
+	if r20.completed >= r10.completed {
+		t.Errorf("revtr2.0 coverage (%d) not below revtr1.0 (%d): the accuracy trade is missing",
+			r20.completed, r10.completed)
+	}
+	a10 := scoreAccuracy(f.d, r10)
+	a20 := scoreAccuracy(f.d, r20)
+	if a10.comparable > 10 && a20.comparable > 10 {
+		f10 := float64(a10.exactAS) / float64(a10.comparable)
+		f20 := float64(a20.exactAS) / float64(a20.comparable)
+		if f20 <= f10 {
+			t.Errorf("revtr2.0 exact-AS %.2f not above revtr1.0 %.2f", f20, f10)
+		}
+	}
+	// Latency: the ablation should be monotone from revtr1.0 to revtr2.0.
+	if r20.durations.Quantile(0.5) >= r10.durations.Quantile(0.5) {
+		t.Errorf("revtr2.0 median latency %.1fs not below revtr1.0 %.1fs",
+			r20.durations.Quantile(0.5), r10.durations.Quantile(0.5))
+	}
+}
+
+// TestVPSelectionShapesHold asserts §5.3: ingress-based selection tries
+// far fewer VPs and reveals at least as much as the baselines.
+func TestVPSelectionShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the VP-selection workload")
+	}
+	v := runVPSel(MediumScale())
+	ing := v.tried["ingress (revtr2.0)"]
+	sc := v.tried["revtr1.0 set-cover"]
+	if ing.Quantile(0.5) > sc.Quantile(0.5) {
+		t.Errorf("ingress median tried %.1f > set-cover %.1f", ing.Quantile(0.5), sc.Quantile(0.5))
+	}
+	fi := v.firstBatch["ingress (revtr2.0)"][3]
+	fs := v.firstBatch["revtr1.0 set-cover"][3]
+	if fi.Mean() < fs.Mean() {
+		t.Errorf("ingress first-batch reveal %.2f < set-cover %.2f", fi.Mean(), fs.Mean())
+	}
+	opt := v.firstBatch["optimal"][3]
+	if fi.Mean() > opt.Mean()+1e-9 {
+		t.Errorf("ingress reveal %.2f exceeds optimal %.2f", fi.Mean(), opt.Mean())
+	}
+}
+
+// TestTable2Direction asserts Q5's justification: intradomain symmetry
+// holds more often than interdomain symmetry.
+func TestTable2Direction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the table2 study")
+	}
+	r := runTable2(MediumScale())
+	intra := float64(r.intra.yes) / float64(max(1, r.intra.yes+r.intra.no))
+	inter := float64(r.inter.yes) / float64(max(1, r.inter.yes+r.inter.no))
+	t.Logf("intra=%.2f inter=%.2f", intra, inter)
+	if intra <= inter {
+		t.Errorf("intradomain symmetry (%.2f) not above interdomain (%.2f)", intra, inter)
+	}
+}
+
+func TestExperimentOutputMentionsPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment")
+	}
+	e, _ := Find("fig9a")
+	var buf bytes.Buffer
+	if err := e.Run(SmallScale(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paper:") {
+		t.Error("experiment output lacks the paper reference line")
+	}
+}

@@ -1,0 +1,181 @@
+package ingress_test
+
+import (
+	"testing"
+
+	"revtr/internal/ingress"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/simtest"
+)
+
+func surveyEnv(t testing.TB) (*simtest.Env, *ingress.Service) {
+	t.Helper()
+	env := simtest.New(t, 300, 6)
+	svc := ingress.NewService(env.Prober, env.Sites, ingress.AllHeuristics, 6)
+	// Survey announced /24s only (cheap enough for tests).
+	var prefixes []ipv4.Prefix
+	for _, as := range env.Topo.ASes {
+		prefixes = append(prefixes, as.Prefixes...)
+	}
+	svc.Survey(prefixes, func(pfx ipv4.Prefix) []ipv4.Addr {
+		var out []ipv4.Addr
+		asn, ok := env.Topo.BlockAS(pfx.Addr)
+		if !ok {
+			return nil
+		}
+		for _, hid := range env.Topo.ASes[asn].Hosts {
+			h := &env.Topo.Hosts[hid]
+			if pfx.Contains(h.Addr) && h.PingResponsive {
+				out = append(out, h.Addr)
+				if len(out) == 2 {
+					break
+				}
+			}
+		}
+		return out
+	})
+	return env, svc
+}
+
+func TestSurveyFindsIngresses(t *testing.T) {
+	env, svc := surveyEnv(t)
+	withIngress, surveyed := 0, 0
+	for _, info := range svc.Info {
+		surveyed++
+		if len(info.Ingresses) > 0 {
+			withIngress++
+		}
+	}
+	if surveyed == 0 {
+		t.Fatal("nothing surveyed")
+	}
+	frac := float64(withIngress) / float64(surveyed)
+	t.Logf("prefixes with ingresses: %d/%d (%.0f%%)", withIngress, surveyed, 100*frac)
+	if frac < 0.3 {
+		t.Errorf("too few prefixes with identified ingresses: %.2f", frac)
+	}
+	_ = env
+}
+
+func TestIngressSetCoverProperties(t *testing.T) {
+	_, svc := surveyEnv(t)
+	for _, info := range svc.Info {
+		covered := map[int]bool{}
+		for i, ing := range info.Ingresses {
+			if len(ing.Sites) == 0 {
+				t.Fatal("ingress with no sites")
+			}
+			// Ordered by coverage, descending.
+			if i > 0 && len(ing.Sites) > len(info.Ingresses[i-1].Sites) {
+				t.Fatalf("ingresses not ordered by coverage: %v", info.Prefix)
+			}
+			for _, s := range ing.Sites {
+				if covered[s] {
+					t.Fatalf("site %d covered by two ingresses in %v", s, info.Prefix)
+				}
+				covered[s] = true
+			}
+		}
+	}
+}
+
+func TestPlanPolicies(t *testing.T) {
+	_, svc := surveyEnv(t)
+	var pfx ipv4.Prefix
+	for p, info := range svc.Info {
+		if len(info.Ingresses) > 0 {
+			pfx = p
+			break
+		}
+	}
+	if pfx.Bits == 0 {
+		t.Skip("no prefix with ingresses")
+	}
+	ingPlan := svc.PlanFor(pfx, ingress.SelIngress)
+	if !ingPlan.PerIngress || len(ingPlan.Order) == 0 {
+		t.Fatal("ingress plan empty")
+	}
+	// No duplicate sites in a plan.
+	seen := map[int]bool{}
+	for _, s := range ingPlan.Order {
+		if seen[s] {
+			t.Fatal("duplicate site in ingress plan")
+		}
+		seen[s] = true
+	}
+	scPlan := svc.PlanFor(pfx, ingress.SelSetCover)
+	glPlan := svc.PlanFor(pfx, ingress.SelGlobal)
+	if len(scPlan.Order) == 0 || len(glPlan.Order) == 0 {
+		t.Fatal("baseline plans empty")
+	}
+	if scPlan.PerIngress || glPlan.PerIngress {
+		t.Fatal("baseline plans should not be per-ingress")
+	}
+	// Unsurveyed prefix falls back to the global ranking.
+	fb := svc.PlanFor(ipv4.MustParsePrefix("203.0.113.0/24"), ingress.SelIngress)
+	if len(fb.Order) != len(glPlan.Order) {
+		t.Fatal("fallback plan is not the global ranking")
+	}
+}
+
+func TestClosestSiteDist(t *testing.T) {
+	_, svc := surveyEnv(t)
+	found := false
+	for p := range svc.Info {
+		if d := svc.ClosestSiteDist(p); d > 0 {
+			found = true
+			if d > 30 {
+				t.Fatalf("absurd distance %d", d)
+			}
+		}
+	}
+	if !found {
+		t.Error("no prefix has a known closest-site distance")
+	}
+	if d := svc.ClosestSiteDist(ipv4.MustParsePrefix("198.18.0.0/24")); d != -1 {
+		t.Error("unknown prefix should return -1")
+	}
+}
+
+func TestHeuristicsExtractMore(t *testing.T) {
+	env := simtest.New(t, 300, 6)
+	var prefixes []ipv4.Prefix
+	for _, as := range env.Topo.ASes {
+		prefixes = append(prefixes, as.Prefixes...)
+	}
+	dests := func(pfx ipv4.Prefix) []ipv4.Addr {
+		var out []ipv4.Addr
+		asn, ok := env.Topo.BlockAS(pfx.Addr)
+		if !ok {
+			return nil
+		}
+		for _, hid := range env.Topo.ASes[asn].Hosts {
+			h := &env.Topo.Hosts[hid]
+			if pfx.Contains(h.Addr) && h.PingResponsive {
+				out = append(out, h.Addr)
+				if len(out) == 2 {
+					break
+				}
+			}
+		}
+		return out
+	}
+	plain := ingress.NewService(env.Prober, env.Sites, ingress.Heuristics{}, 6)
+	plain.Survey(prefixes, dests)
+	full := ingress.NewService(env.Prober, env.Sites, ingress.AllHeuristics, 6)
+	full.Survey(prefixes, dests)
+	count := func(s *ingress.Service) int {
+		n := 0
+		for _, info := range s.Info {
+			if len(info.Ingresses) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	nPlain, nFull := count(plain), count(full)
+	t.Logf("ingresses found: plain=%d full-heuristics=%d", nPlain, nFull)
+	if nFull < nPlain {
+		t.Errorf("heuristics reduced coverage: %d < %d", nFull, nPlain)
+	}
+}

@@ -1,0 +1,139 @@
+package ip2as
+
+import (
+	"testing"
+
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+func topoFor(t testing.TB) *topology.Topology {
+	t.Helper()
+	cfg := topology.DefaultConfig(300)
+	cfg.Seed = 13
+	return topology.Generate(cfg)
+}
+
+func TestTruthMatchesTopology(t *testing.T) {
+	topo := topoFor(t)
+	m := Truth{Topo: topo}
+	for _, h := range topo.Hosts[:50] {
+		asn, ok := m.ASOf(h.Addr)
+		if !ok || asn != h.AS {
+			t.Fatalf("host %s mapped to %d, want %d", h.Addr, asn, h.AS)
+		}
+	}
+}
+
+func TestOriginMisattributesBorders(t *testing.T) {
+	topo := topoFor(t)
+	origin := Origin{Topo: topo}
+	truth := Truth{Topo: topo}
+	wrong, total := 0, 0
+	for li := range topo.Links {
+		l := &topo.Links[li]
+		if !l.Inter {
+			continue
+		}
+		for _, ifid := range [2]topology.IfaceID{l.I0, l.I1} {
+			a := topo.Ifaces[ifid].Addr
+			oa, ok1 := origin.ASOf(a)
+			ta, ok2 := truth.ASOf(a)
+			if !ok1 || !ok2 {
+				t.Fatalf("unmappable border addr %s", a)
+			}
+			total++
+			if oa != ta {
+				wrong++
+			}
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("origin mapping never misattributes a border interface; the bdrmapit ablation is vacuous")
+	}
+	// Exactly one side of each interdomain /30 is misattributed.
+	if wrong*2 != total {
+		t.Errorf("expected half the border interfaces misattributed, got %d/%d", wrong, total)
+	}
+}
+
+func TestBdrmapCorrects(t *testing.T) {
+	topo := topoFor(t)
+	b := NewBdrmap(topo, 1.0, 0, 1)
+	truth := Truth{Topo: topo}
+	for li := range topo.Links {
+		l := &topo.Links[li]
+		if !l.Inter {
+			continue
+		}
+		for _, ifid := range [2]topology.IfaceID{l.I0, l.I1} {
+			a := topo.Ifaces[ifid].Addr
+			ba, _ := b.ASOf(a)
+			ta, _ := truth.ASOf(a)
+			if ba != ta {
+				t.Fatalf("bdrmap(accuracy=1) still wrong on %s", a)
+			}
+		}
+	}
+}
+
+func TestBdrmapPartial(t *testing.T) {
+	topo := topoFor(t)
+	b := NewBdrmap(topo, 0.5, 0, 1)
+	truth := Truth{Topo: topo}
+	origin := Origin{Topo: topo}
+	fixed, broken := 0, 0
+	for li := range topo.Links {
+		l := &topo.Links[li]
+		if !l.Inter {
+			continue
+		}
+		for _, ifid := range [2]topology.IfaceID{l.I0, l.I1} {
+			a := topo.Ifaces[ifid].Addr
+			oa, _ := origin.ASOf(a)
+			ta, _ := truth.ASOf(a)
+			if oa == ta {
+				continue
+			}
+			if ba, _ := b.ASOf(a); ba == ta {
+				fixed++
+			} else {
+				broken++
+			}
+		}
+	}
+	frac := float64(fixed) / float64(fixed+broken)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("bdrmap(0.5) fixed %.2f of borders, want ≈0.5", frac)
+	}
+}
+
+func TestASPathSkipsPrivate(t *testing.T) {
+	topo := topoFor(t)
+	m := Truth{Topo: topo}
+	h0, h1 := topo.Hosts[0], topo.Hosts[len(topo.Hosts)-1]
+	path := ASPath(m, []ipv4.Addr{h0.Addr, ipv4.MustParseAddr("10.1.2.3"), h1.Addr})
+	want := 2
+	if h0.AS == h1.AS {
+		want = 1
+	}
+	if len(path) != want {
+		t.Fatalf("path %v, want %d entries", path, want)
+	}
+}
+
+func TestSameAS(t *testing.T) {
+	topo := topoFor(t)
+	m := Truth{Topo: topo}
+	as := topo.ASes[len(topo.ASes)-1]
+	if len(as.Hosts) >= 2 {
+		a := topo.Hosts[as.Hosts[0]].Addr
+		b := topo.Hosts[as.Hosts[1]].Addr
+		if !SameAS(m, a, b) {
+			t.Error("same-AS hosts reported different")
+		}
+	}
+	if SameAS(m, topo.Hosts[0].Addr, ipv4.MustParseAddr("10.0.0.1")) {
+		t.Error("private address matched an AS")
+	}
+}

@@ -1,0 +1,328 @@
+// Package measure provides the probing primitives Reverse Traceroute is
+// built from, executed against the simulated fabric: ping, Record Route
+// ping, spoofed Record Route ping, tsprespec Timestamp ping, and Paris
+// traceroute. Every primitive is accounted per packet type, which is how
+// the Table 4 probe budget comparison is produced.
+package measure
+
+import (
+	"fmt"
+
+	"revtr/internal/netsim/fabric"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+// Agent is a measurement endpoint: an address and the router it injects
+// packets at. Agents are built from topology hosts or anycast sites.
+type Agent struct {
+	Name     string
+	Addr     ipv4.Addr
+	Router   topology.RouterID
+	AS       topology.ASN
+	CanSpoof bool // the hosting AS does not filter spoofed sources
+	Site     int  // anycast site index, or -1
+}
+
+// AgentFromHost builds an agent at a topology host.
+func AgentFromHost(topo *topology.Topology, h *topology.Host) Agent {
+	return Agent{
+		Name:     fmt.Sprintf("host-%s", h.Addr),
+		Addr:     h.Addr,
+		Router:   h.Router,
+		AS:       h.AS,
+		CanSpoof: topo.ASes[h.AS].AllowsSpoofing,
+		Site:     -1,
+	}
+}
+
+// Counters tallies probe packets by type — the Table 4 columns.
+type Counters struct {
+	Ping       uint64
+	RR         uint64
+	SpoofRR    uint64
+	TS         uint64
+	SpoofTS    uint64
+	Traceroute uint64 // traceroute probe packets
+}
+
+// Total is the grand total of probe packets sent.
+func (c *Counters) Total() uint64 {
+	return c.Ping + c.RR + c.SpoofRR + c.TS + c.SpoofTS + c.Traceroute
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Ping += other.Ping
+	c.RR += other.RR
+	c.SpoofRR += other.SpoofRR
+	c.TS += other.TS
+	c.SpoofTS += other.SpoofTS
+	c.Traceroute += other.Traceroute
+}
+
+// Sub returns c minus other.
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		Ping:       c.Ping - other.Ping,
+		RR:         c.RR - other.RR,
+		SpoofRR:    c.SpoofRR - other.SpoofRR,
+		TS:         c.TS - other.TS,
+		SpoofTS:    c.SpoofTS - other.SpoofTS,
+		Traceroute: c.Traceroute - other.Traceroute,
+	}
+}
+
+// Prober issues probes on a fabric. It is not safe for concurrent use.
+type Prober struct {
+	F *fabric.Fabric
+	// Count accumulates packets sent.
+	Count Counters
+
+	nextID    uint16
+	nextNonce uint64
+	nowUS     int64
+}
+
+// NewProber creates a prober over f.
+func NewProber(f *fabric.Fabric) *Prober { return &Prober{F: f} }
+
+// Now returns the prober's virtual clock (microseconds).
+func (p *Prober) Now() int64 { return p.nowUS }
+
+// Advance moves the virtual clock forward.
+func (p *Prober) Advance(us int64) { p.nowUS += us }
+
+// SetNow sets the virtual clock.
+func (p *Prober) SetNow(us int64) { p.nowUS = us }
+
+func (p *Prober) id() uint16 {
+	p.nextID++
+	return p.nextID
+}
+
+func (p *Prober) nonce() uint64 {
+	p.nextNonce++
+	return p.nextNonce
+}
+
+// replyTo extracts the first delivery addressed to addr.
+func replyTo(res *fabric.Result, addr ipv4.Addr) (*fabric.Delivery, bool) {
+	for i := range res.Deliveries {
+		if res.Deliveries[i].To == addr {
+			return &res.Deliveries[i], true
+		}
+	}
+	return nil, false
+}
+
+// PingResult is the outcome of a plain ping.
+type PingResult struct {
+	Alive bool
+	RTTUS int64
+	// Site is the anycast site index the request was delivered at, or -1
+	// for unicast destinations (used to measure anycast catchments,
+	// §6.1).
+	Site int
+}
+
+// Ping sends one echo request from agent a to dst.
+func (p *Prober) Ping(a Agent, dst ipv4.Addr) PingResult {
+	p.Count.Ping++
+	pkt := ipv4.BuildEchoRequest(a.Addr, dst, p.id(), 1, 64, 0, nil)
+	res := p.F.Inject(a.Router, pkt, p.nowUS, flowKey(a.Addr, dst, 0), p.nonce())
+	site := -1
+	for i := range res.Deliveries {
+		if res.Deliveries[i].Site >= 0 {
+			site = res.Deliveries[i].Site
+		}
+	}
+	if d, ok := replyTo(res, a.Addr); ok {
+		return PingResult{Alive: true, RTTUS: d.TimeUS - p.nowUS, Site: site}
+	}
+	// The request may have been delivered (fixing the catchment) even if
+	// no reply was produced.
+	return PingResult{Site: site}
+}
+
+// RRResult is the outcome of a Record Route ping.
+type RRResult struct {
+	Responded bool
+	RTTUS     int64
+	// Recorded is the full RR array of the reply: forward-path stamps,
+	// possibly the destination's stamp, then reverse-path stamps.
+	Recorded []ipv4.Addr
+	// ReplyFrom is the source address of the echo reply.
+	ReplyFrom ipv4.Addr
+}
+
+// RRPing sends an echo request with a 9-slot Record Route option from
+// agent a to dst. The reply (if any) is received at a.
+func (p *Prober) RRPing(a Agent, dst ipv4.Addr) RRResult {
+	p.Count.RR++
+	return p.rrPing(a.Router, a.Addr, dst, a.Addr)
+}
+
+// SpoofedRRPing sends an RR echo request to dst from vantage point vp,
+// spoofing src as the source; the reply travels the reverse path from dst
+// to src (Insight 1.3). Returns an error-like zero result if vp cannot
+// spoof.
+func (p *Prober) SpoofedRRPing(vp Agent, src ipv4.Addr, dst ipv4.Addr) RRResult {
+	if !vp.CanSpoof {
+		return RRResult{}
+	}
+	p.Count.SpoofRR++
+	return p.rrPing(vp.Router, src, dst, src)
+}
+
+func (p *Prober) rrPing(at topology.RouterID, srcAddr, dst, recvAddr ipv4.Addr) RRResult {
+	pkt := ipv4.BuildEchoRequest(srcAddr, dst, p.id(), 1, 64, ipv4.RRSlots, nil)
+	res := p.F.Inject(at, pkt, p.nowUS, flowKey(srcAddr, dst, 0), p.nonce())
+	d, ok := replyTo(res, recvAddr)
+	if !ok {
+		return RRResult{}
+	}
+	var h ipv4.Header
+	if _, err := h.Decode(d.Pkt); err != nil || !h.HasRR {
+		return RRResult{}
+	}
+	rec := make([]ipv4.Addr, h.RR.N)
+	copy(rec, h.RR.Recorded())
+	return RRResult{
+		Responded: true,
+		RTTUS:     d.TimeUS - p.nowUS,
+		Recorded:  rec,
+		ReplyFrom: h.Src,
+	}
+}
+
+// TSResult is the outcome of a tsprespec Timestamp ping.
+type TSResult struct {
+	Responded bool
+	RTTUS     int64
+	// Stamped[i] reports whether prespecified address i recorded a
+	// timestamp.
+	Stamped []bool
+}
+
+// TSPing sends a tsprespec echo request with the given prespecified
+// addresses (at most 4) from a to dst.
+func (p *Prober) TSPing(a Agent, dst ipv4.Addr, prespec []ipv4.Addr) TSResult {
+	p.Count.TS++
+	return p.tsPing(a.Router, a.Addr, dst, a.Addr, prespec)
+}
+
+// SpoofedTSPing is TSPing sent from vp spoofing src.
+func (p *Prober) SpoofedTSPing(vp Agent, src, dst ipv4.Addr, prespec []ipv4.Addr) TSResult {
+	if !vp.CanSpoof {
+		return TSResult{}
+	}
+	p.Count.SpoofTS++
+	return p.tsPing(vp.Router, src, dst, src, prespec)
+}
+
+func (p *Prober) tsPing(at topology.RouterID, srcAddr, dst, recvAddr ipv4.Addr, prespec []ipv4.Addr) TSResult {
+	pkt := ipv4.BuildEchoRequest(srcAddr, dst, p.id(), 1, 64, 0, prespec)
+	res := p.F.Inject(at, pkt, p.nowUS, flowKey(srcAddr, dst, 0), p.nonce())
+	d, ok := replyTo(res, recvAddr)
+	if !ok {
+		return TSResult{}
+	}
+	var h ipv4.Header
+	if _, err := h.Decode(d.Pkt); err != nil || !h.HasTS {
+		return TSResult{}
+	}
+	out := TSResult{Responded: true, RTTUS: d.TimeUS - p.nowUS, Stamped: make([]bool, h.TS.N)}
+	for i := 0; i < h.TS.N; i++ {
+		out.Stamped[i] = h.TS.Pairs[i].Stamped
+	}
+	return out
+}
+
+// TracerouteHop is one hop of a traceroute.
+type TracerouteHop struct {
+	Addr      ipv4.Addr // zero for an unresponsive hop ("*")
+	RTTUS     int64
+	Responded bool
+}
+
+// TracerouteResult is a Paris traceroute outcome.
+type TracerouteResult struct {
+	Hops       []TracerouteHop
+	ReachedDst bool
+	RTTUS      int64 // total wall time of the traceroute
+}
+
+// MaxTracerouteTTL bounds traceroute probing.
+const MaxTracerouteTTL = 40
+
+// Traceroute runs a Paris traceroute (constant flow identifier) from a to
+// dst. One probe per TTL; stops at the destination's echo reply or after
+// two consecutive silent hops beyond TTL 30.
+func (p *Prober) Traceroute(a Agent, dst ipv4.Addr) TracerouteResult {
+	var out TracerouteResult
+	flow := flowKey(a.Addr, dst, 1)
+	silent := 0
+	for ttl := 1; ttl <= MaxTracerouteTTL; ttl++ {
+		p.Count.Traceroute++
+		pkt := ipv4.BuildEchoRequest(a.Addr, dst, p.id(), uint16(ttl), uint8(ttl), 0, nil)
+		res := p.F.Inject(a.Router, pkt, p.nowUS, flow, p.nonce())
+		d, ok := replyTo(res, a.Addr)
+		if !ok {
+			out.Hops = append(out.Hops, TracerouteHop{})
+			silent++
+			if silent >= 4 {
+				break
+			}
+			continue
+		}
+		silent = 0
+		var h ipv4.Header
+		payload, err := h.Decode(d.Pkt)
+		if err != nil {
+			out.Hops = append(out.Hops, TracerouteHop{})
+			continue
+		}
+		var m ipv4.ICMP
+		if m.Decode(payload) != nil {
+			out.Hops = append(out.Hops, TracerouteHop{})
+			continue
+		}
+		rtt := d.TimeUS - p.nowUS
+		out.RTTUS += rtt
+		switch m.Type {
+		case ipv4.ICMPTimeExceeded:
+			out.Hops = append(out.Hops, TracerouteHop{Addr: h.Src, RTTUS: rtt, Responded: true})
+		case ipv4.ICMPEchoReply:
+			out.Hops = append(out.Hops, TracerouteHop{Addr: h.Src, RTTUS: rtt, Responded: true})
+			out.ReachedDst = true
+			return out
+		default:
+			out.Hops = append(out.Hops, TracerouteHop{})
+		}
+	}
+	return out
+}
+
+// HopAddrs extracts the responding hop addresses of a traceroute,
+// dropping unresponsive hops.
+func (t *TracerouteResult) HopAddrs() []ipv4.Addr {
+	var out []ipv4.Addr
+	for _, h := range t.Hops {
+		if h.Responded {
+			out = append(out, h.Addr)
+		}
+	}
+	return out
+}
+
+// flowKey derives a per-flow load-balancing key (Paris semantics: header
+// fields only, so retransmissions follow the same path).
+func flowKey(src, dst ipv4.Addr, proto uint64) uint64 {
+	x := uint64(src)<<32 | uint64(uint32(dst))
+	x ^= proto * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}

@@ -1,0 +1,117 @@
+// Package dynamics introduces routing churn into a running simulation:
+// per-AS tie-break re-rolls (modelling policy and IGP changes that shift
+// equal-preference route choices) and interdomain link failures/repairs.
+// The atlas staleness study (Fig 9d) and the caching insight (1.4) depend
+// on paths changing at a realistic, low rate: the paper cites >90% of
+// paths still valid after 10 days.
+package dynamics
+
+import (
+	"math/rand"
+
+	"revtr/internal/netsim/bgp"
+	"revtr/internal/netsim/fabric"
+	"revtr/internal/netsim/topology"
+)
+
+// Churn drives routing changes on a fabric.
+type Churn struct {
+	f    *fabric.Fabric
+	rng  *rand.Rand
+	seed int64
+
+	epochs    []uint32
+	downLinks []topology.LinkID
+}
+
+// New creates a churn driver and installs its tie-break function into the
+// fabric's routing engine.
+func New(f *fabric.Fabric, seed int64) *Churn {
+	c := &Churn{
+		f:      f,
+		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
+		epochs: make([]uint32, len(f.Topo.ASes)),
+	}
+	f.Routing.SetPolicy(c.TieBreak(), c.Pref())
+	return c
+}
+
+// TieBreak returns a tie-break keyed on the chooser's current epoch, so
+// bumping an AS's epoch re-rolls its equal-preference route choices.
+func (c *Churn) TieBreak() bgp.TieBreak {
+	base := bgp.DefaultTieBreak(c.seed)
+	return func(chooser, candidate topology.ASN) uint64 {
+		return base(chooser, candidate) ^ uint64(c.epochs[chooser])*0x9e3779b97f4a7c15
+	}
+}
+
+// Pref returns a local-preference function keyed on the chooser's epoch,
+// so bumping an AS's epoch can flip which neighbors it prefers — the
+// policy-change component of path churn.
+func (c *Churn) Pref() bgp.PrefFunc {
+	cut := uint64(bgp.DefaultPrefFrac * float64(^uint64(0)))
+	return func(chooser, candidate topology.ASN) bool {
+		h := uint64(c.seed) ^ uint64(chooser)<<32 | uint64(uint32(candidate))
+		h ^= uint64(c.epochs[chooser]) * 0x9e3779b97f4a7c15
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		return h < cut
+	}
+}
+
+// Step applies one churn round: re-roll tie-breaks for fracASes of ASes
+// and fail linkFailures random interdomain links (repairing previously
+// failed ones first with probability 1/2 each). Invalidates all cached
+// forwarding state.
+func (c *Churn) Step(fracASes float64, linkFailures int) {
+	n := int(fracASes * float64(len(c.epochs)))
+	for i := 0; i < n; i++ {
+		c.epochs[c.rng.Intn(len(c.epochs))]++
+	}
+	// Repair half of the currently failed links.
+	var still []topology.LinkID
+	for _, l := range c.downLinks {
+		if c.rng.Intn(2) == 0 {
+			c.f.Topo.Links[l].Down = false
+		} else {
+			still = append(still, l)
+		}
+	}
+	c.downLinks = still
+	for i := 0; i < linkFailures; i++ {
+		l := topology.LinkID(c.rng.Intn(len(c.f.Topo.Links)))
+		lk := &c.f.Topo.Links[l]
+		if !lk.Inter || lk.Down {
+			continue
+		}
+		// Only fail links of adjacencies with another live parallel link,
+		// so the data plane reroutes at router level instead of
+		// blackholing (the BGP layer keeps the AS edge up).
+		r0 := c.f.Topo.Ifaces[lk.I0].Router
+		r1 := c.f.Topo.Ifaces[lk.I1].Router
+		as0 := c.f.Topo.ASes[c.f.Topo.Routers[r0].AS]
+		nb := as0.Neighbor(c.f.Topo.Routers[r1].AS)
+		if nb == nil {
+			continue
+		}
+		up := 0
+		for _, ll := range nb.Link {
+			if !c.f.Topo.Links[ll].Down {
+				up++
+			}
+		}
+		if up < 2 {
+			continue
+		}
+		lk.Down = true
+		c.downLinks = append(c.downLinks, l)
+	}
+	// Re-install the policy (epochs changed) and flush caches.
+	c.f.Routing.SetPolicy(c.TieBreak(), c.Pref())
+	c.f.InvalidateRoutes()
+}
+
+// DownCount reports how many links are currently failed.
+func (c *Churn) DownCount() int { return len(c.downLinks) }

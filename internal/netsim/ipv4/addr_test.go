@@ -1,0 +1,124 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"10.0.0.1", 0x0a000001, true},
+		{"192.168.1.254", 0xc0a801fe, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"-1.0.0.0", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr(%q) succeeded; want error", c.in)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseAddr did not panic on bad input")
+		}
+	}()
+	MustParseAddr("not an address")
+}
+
+func TestIsPrivate(t *testing.T) {
+	private := []string{"10.0.0.1", "10.255.255.255", "172.16.0.1", "172.31.255.254", "192.168.0.1"}
+	public := []string{"11.0.0.1", "172.15.0.1", "172.32.0.1", "192.169.0.1", "8.8.8.8"}
+	for _, s := range private {
+		if !MustParseAddr(s).IsPrivate() {
+			t.Errorf("%s should be private", s)
+		}
+	}
+	for _, s := range public {
+		if MustParseAddr(s).IsPrivate() {
+			t.Errorf("%s should be public", s)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	p := MustParsePrefix("10.1.2.0/24")
+	if p.String() != "10.1.2.0/24" {
+		t.Errorf("String = %s", p.String())
+	}
+	if p.NumAddrs() != 256 {
+		t.Errorf("NumAddrs = %d", p.NumAddrs())
+	}
+	if !p.Contains(MustParseAddr("10.1.2.200")) {
+		t.Error("Contains failed for in-prefix address")
+	}
+	if p.Contains(MustParseAddr("10.1.3.0")) {
+		t.Error("Contains succeeded for out-of-prefix address")
+	}
+	if got := p.Nth(5); got != MustParseAddr("10.1.2.5") {
+		t.Errorf("Nth(5) = %s", got)
+	}
+}
+
+func TestParsePrefixMasksHostBits(t *testing.T) {
+	p := MustParsePrefix("10.1.2.77/24")
+	if p.Addr != MustParseAddr("10.1.2.0") {
+		t.Errorf("host bits not masked: %s", p.Addr)
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	for _, s := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "banana/8", "10.0.0.0/x"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded; want error", s)
+		}
+	}
+}
+
+func TestMaskProperty(t *testing.T) {
+	// Masking is idempotent and monotone in prefix length.
+	f := func(a uint32, bits uint8) bool {
+		b := bits % 33
+		m := Addr(a).Mask(b)
+		return m.Mask(b) == m && Prefix{Addr: m, Bits: b}.Contains(Addr(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNthPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nth out of range did not panic")
+		}
+	}()
+	MustParsePrefix("10.0.0.0/30").Nth(4)
+}

@@ -1,0 +1,262 @@
+package ipv4
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func marshalPacket(h *Header, payload []byte) []byte {
+	pkt := h.Marshal(nil)
+	pkt = append(pkt, payload...)
+	pkt[2] = byte(len(pkt) >> 8)
+	pkt[3] = byte(len(pkt))
+	SetChecksum(pkt)
+	return pkt
+}
+
+func TestHeaderRoundTripPlain(t *testing.T) {
+	h := Header{
+		TOS: 0, ID: 0x1234, TTL: 64, Protocol: ProtoICMP,
+		Src: MustParseAddr("1.2.3.4"), Dst: MustParseAddr("5.6.7.8"),
+	}
+	pkt := marshalPacket(&h, []byte{0xde, 0xad})
+	var got Header
+	payload, err := got.Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.TTL != 64 || got.ID != 0x1234 {
+		t.Errorf("decoded header mismatch: %+v", got)
+	}
+	if len(payload) != 2 || payload[0] != 0xde {
+		t.Errorf("payload mismatch: %x", payload)
+	}
+	if !VerifyChecksum(pkt) {
+		t.Error("checksum invalid after marshal")
+	}
+}
+
+func TestHeaderRoundTripRR(t *testing.T) {
+	h := Header{
+		TTL: 32, Protocol: ProtoICMP,
+		Src: MustParseAddr("10.0.0.1"), Dst: MustParseAddr("10.0.0.2"),
+		HasRR: true,
+	}
+	h.RR.Slots = 9
+	h.RR.N = 3
+	h.RR.Routes[0] = MustParseAddr("1.1.1.1")
+	h.RR.Routes[1] = MustParseAddr("2.2.2.2")
+	h.RR.Routes[2] = MustParseAddr("3.3.3.3")
+	pkt := marshalPacket(&h, nil)
+	var got Header
+	if _, err := got.Decode(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasRR || got.RR.N != 3 || got.RR.Slots != 9 {
+		t.Fatalf("RR mismatch: %+v", got.RR)
+	}
+	for i := 0; i < 3; i++ {
+		if got.RR.Routes[i] != h.RR.Routes[i] {
+			t.Errorf("route %d mismatch: %s != %s", i, got.RR.Routes[i], h.RR.Routes[i])
+		}
+	}
+}
+
+func TestHeaderRoundTripTS(t *testing.T) {
+	h := Header{
+		TTL: 32, Protocol: ProtoICMP,
+		Src: MustParseAddr("10.0.0.1"), Dst: MustParseAddr("10.0.0.2"),
+		HasTS: true,
+	}
+	h.TS.N = 2
+	h.TS.Pairs[0] = TimestampPair{Addr: MustParseAddr("4.4.4.4"), Stamp: 111, Stamped: true}
+	h.TS.Pairs[1] = TimestampPair{Addr: MustParseAddr("5.5.5.5")}
+	pkt := marshalPacket(&h, nil)
+	var got Header
+	if _, err := got.Decode(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasTS || got.TS.N != 2 {
+		t.Fatalf("TS mismatch: %+v", got.TS)
+	}
+	if !got.TS.Pairs[0].Stamped || got.TS.Pairs[0].Stamp != 111 {
+		t.Errorf("pair 0 mismatch: %+v", got.TS.Pairs[0])
+	}
+	if got.TS.Pairs[1].Stamped {
+		t.Errorf("pair 1 should be unstamped")
+	}
+}
+
+// TestHeaderRoundTripProperty fuzzes header fields and RR/TS population and
+// checks encode→decode identity.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		h := Header{
+			TOS:      uint8(rng.Intn(256)),
+			ID:       uint16(rng.Intn(65536)),
+			TTL:      uint8(1 + rng.Intn(255)),
+			Protocol: ProtoICMP,
+			Src:      Addr(rng.Uint32()),
+			Dst:      Addr(rng.Uint32()),
+		}
+		if rng.Intn(2) == 0 {
+			h.HasTS = true
+			h.TS.N = 1 + rng.Intn(TSSlots)
+			stamped := rng.Intn(h.TS.N + 1)
+			for j := 0; j < h.TS.N; j++ {
+				h.TS.Pairs[j].Addr = Addr(rng.Uint32())
+				if j < stamped {
+					h.TS.Pairs[j].Stamped = true
+					h.TS.Pairs[j].Stamp = rng.Uint32()
+				}
+			}
+		}
+		// An RR option must fit alongside whatever TS option was chosen:
+		// the 40-byte option area is shared.
+		tsLen := 0
+		if h.HasTS {
+			tsLen = 4 + 8*h.TS.N
+		}
+		if maxSlots := (MaxOptionsLen - tsLen - 3) / 4; maxSlots >= 1 && rng.Intn(2) == 0 {
+			if maxSlots > RRSlots {
+				maxSlots = RRSlots
+			}
+			h.HasRR = true
+			h.RR.Slots = 1 + rng.Intn(maxSlots)
+			h.RR.N = rng.Intn(h.RR.Slots + 1)
+			for j := 0; j < h.RR.N; j++ {
+				h.RR.Routes[j] = Addr(rng.Uint32())
+			}
+		}
+		pkt := marshalPacket(&h, nil)
+		var got Header
+		if _, err := got.Decode(pkt); err != nil {
+			t.Fatalf("iter %d: decode: %v (header %+v)", i, err, h)
+		}
+		if got.Src != h.Src || got.Dst != h.Dst || got.TTL != h.TTL ||
+			got.TOS != h.TOS || got.ID != h.ID {
+			t.Fatalf("iter %d: fixed fields mismatch", i)
+		}
+		if got.HasRR != h.HasRR || got.HasTS != h.HasTS {
+			t.Fatalf("iter %d: option presence mismatch", i)
+		}
+		if h.HasRR {
+			if got.RR.N != h.RR.N || got.RR.Slots != h.RR.Slots {
+				t.Fatalf("iter %d: RR shape mismatch: %+v vs %+v", i, got.RR, h.RR)
+			}
+			for j := 0; j < h.RR.N; j++ {
+				if got.RR.Routes[j] != h.RR.Routes[j] {
+					t.Fatalf("iter %d: RR route %d mismatch", i, j)
+				}
+			}
+		}
+		if h.HasTS {
+			if got.TS.N != h.TS.N {
+				t.Fatalf("iter %d: TS count mismatch", i)
+			}
+			for j := 0; j < h.TS.N; j++ {
+				if got.TS.Pairs[j].Addr != h.TS.Pairs[j].Addr ||
+					got.TS.Pairs[j].Stamped != h.TS.Pairs[j].Stamped {
+					t.Fatalf("iter %d: TS pair %d mismatch", i, j)
+				}
+				if h.TS.Pairs[j].Stamped && got.TS.Pairs[j].Stamp != h.TS.Pairs[j].Stamp {
+					t.Fatalf("iter %d: TS stamp %d mismatch", i, j)
+				}
+			}
+		}
+		if !VerifyChecksum(pkt) {
+			t.Fatalf("iter %d: bad checksum", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var h Header
+	if _, err := h.Decode(nil); err != ErrTruncated {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := h.Decode(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, 20)
+	bad[0] = 6 << 4 // IPv6 version
+	if _, err := h.Decode(bad); err != ErrBadVersion {
+		t.Errorf("version: %v", err)
+	}
+	bad[0] = 4<<4 | 15 // claims 60-byte header but only 20 bytes present
+	if _, err := h.Decode(bad); err != ErrBadHeaderLen {
+		t.Errorf("hlen: %v", err)
+	}
+	bad[0] = 4<<4 | 3 // below minimum
+	if _, err := h.Decode(bad); err != ErrBadHeaderLen {
+		t.Errorf("hlen min: %v", err)
+	}
+}
+
+func TestDecodeMalformedOptions(t *testing.T) {
+	// RR option with a pointer past the option end must be rejected.
+	h := Header{TTL: 1, Protocol: ProtoICMP, Src: 1, Dst: 2, HasRR: true}
+	h.RR.Slots = 2
+	pkt := marshalPacket(&h, nil)
+	pkt[22] = 200 // pointer way out of range
+	SetChecksum(pkt)
+	var got Header
+	if _, err := got.Decode(pkt); err != ErrBadOption {
+		t.Errorf("bad pointer: %v", err)
+	}
+	// Option length overrunning the header must be rejected.
+	pkt2 := marshalPacket(&h, nil)
+	pkt2[21] = 100
+	SetChecksum(pkt2)
+	if _, err := got.Decode(pkt2); err != ErrBadOption {
+		t.Errorf("overrun length: %v", err)
+	}
+}
+
+func TestDecodeSkipsUnknownOptions(t *testing.T) {
+	// Hand-build a header with an unknown option (type 0x94, len 4)
+	// followed by padding, and confirm decode succeeds.
+	pkt := make([]byte, 24)
+	pkt[0] = 4<<4 | 6
+	pkt[8] = 64
+	pkt[9] = ProtoICMP
+	pkt[20] = 0x94
+	pkt[21] = 4
+	pkt[2] = 0
+	pkt[3] = 24
+	SetChecksum(pkt)
+	var got Header
+	if _, err := got.Decode(pkt); err != nil {
+		t.Fatalf("unknown option: %v", err)
+	}
+	if got.HasRR || got.HasTS {
+		t.Error("phantom options decoded")
+	}
+}
+
+func TestHeaderChecksumProperty(t *testing.T) {
+	// The checksum of a header with its computed checksum installed
+	// verifies; flipping any byte breaks it.
+	f := func(src, dst uint32, ttl uint8) bool {
+		h := Header{TTL: ttl | 1, Protocol: ProtoICMP, Src: Addr(src), Dst: Addr(dst)}
+		pkt := marshalPacket(&h, nil)
+		if !VerifyChecksum(pkt) {
+			return false
+		}
+		pkt[16] ^= 0xff
+		return !VerifyChecksum(pkt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderString(t *testing.T) {
+	h := Header{Src: MustParseAddr("1.2.3.4"), Dst: MustParseAddr("5.6.7.8"), TTL: 9, Protocol: 1, HasRR: true}
+	h.RR.Slots = 9
+	if s := h.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,97 @@
+package ipv4
+
+import (
+	"encoding/binary"
+)
+
+// ICMP message types used by the simulator.
+const (
+	ICMPEchoReply      = 0
+	ICMPDestUnreach    = 3
+	ICMPEchoRequest    = 8
+	ICMPTimeExceeded   = 11
+	ICMPParamProblem   = 12
+	icmpEchoHeaderLen  = 8
+	icmpErrorHeaderLen = 8
+)
+
+// ICMP is a decoded ICMP message. For echo messages, ID/Seq are the echo
+// identifiers and Payload the echo data. For error messages (time exceeded,
+// destination unreachable), Payload carries the embedded original datagram
+// (IP header + 8 bytes) per RFC 792.
+type ICMP struct {
+	Type    uint8
+	Code    uint8
+	ID      uint16
+	Seq     uint16
+	Payload []byte // aliases the decode input
+}
+
+// IsEcho reports whether the message is an echo request or reply.
+func (m *ICMP) IsEcho() bool {
+	return m.Type == ICMPEchoRequest || m.Type == ICMPEchoReply
+}
+
+// Marshal appends the encoded message, with checksum, to b.
+func (m *ICMP) Marshal(b []byte) []byte {
+	off := len(b)
+	b = append(b, m.Type, m.Code, 0, 0)
+	if m.IsEcho() {
+		b = binary.BigEndian.AppendUint16(b, m.ID)
+		b = binary.BigEndian.AppendUint16(b, m.Seq)
+	} else {
+		b = append(b, 0, 0, 0, 0) // unused
+	}
+	b = append(b, m.Payload...)
+	ck := icmpChecksum(b[off:])
+	binary.BigEndian.PutUint16(b[off+2:], ck)
+	return b
+}
+
+// Decode parses an ICMP message from data into m. Payload aliases data.
+func (m *ICMP) Decode(data []byte) error {
+	if len(data) < icmpEchoHeaderLen {
+		return ErrTruncated
+	}
+	m.Type = data[0]
+	m.Code = data[1]
+	if m.IsEchoType(data[0]) {
+		m.ID = binary.BigEndian.Uint16(data[4:])
+		m.Seq = binary.BigEndian.Uint16(data[6:])
+	} else {
+		m.ID, m.Seq = 0, 0
+	}
+	m.Payload = data[8:]
+	return nil
+}
+
+// IsEchoType reports whether t is an echo request or reply type.
+func (*ICMP) IsEchoType(t uint8) bool {
+	return t == ICMPEchoRequest || t == ICMPEchoReply
+}
+
+func icmpChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == 2 {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyICMPChecksum reports whether the ICMP message bytes carry a valid
+// checksum.
+func VerifyICMPChecksum(b []byte) bool {
+	if len(b) < 4 {
+		return false
+	}
+	return icmpChecksum(b) == binary.BigEndian.Uint16(b[2:])
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"fmt"
+
+	"revtr"
+	"revtr/internal/core"
+	"revtr/internal/measure"
+	"revtr/internal/netsim/ipv4"
+)
+
+// DeploymentBackend fronts a simulated deployment: sources are hosts of
+// the simulated Internet, bootstrap checks RR reachability end to end,
+// and measurements run on the deployment's revtr 2.0 engine.
+type DeploymentBackend struct {
+	D      *revtr.Deployment
+	Engine *core.Engine
+}
+
+// NewDeploymentBackend wires a deployment with a revtr 2.0 engine.
+func NewDeploymentBackend(d *revtr.Deployment) *DeploymentBackend {
+	return &DeploymentBackend{D: d, Engine: d.Engine(core.Revtr20Options())}
+}
+
+// RegisterSource implements Backend: the Appendix A bootstrap. The source
+// must exist, answer pings, and be able to receive record route packets
+// (checked with a probe from a vantage point); then its traceroute atlas
+// and RR-alias measurements are built.
+func (b *DeploymentBackend) RegisterSource(addr ipv4.Addr) (core.Source, error) {
+	h, ok := b.D.Topo.HostOf(addr)
+	if !ok {
+		return core.Source{}, fmt.Errorf("no host at %s", addr)
+	}
+	agent := measure.AgentFromHost(b.D.Topo, h)
+	// RR reachability check: at least one vantage point's RR ping must
+	// come back with the option intact.
+	reachable := false
+	for i, vp := range b.D.SiteAgents {
+		if rr := b.D.Prober.RRPing(vp, addr); rr.Responded {
+			reachable = true
+			break
+		}
+		if i >= 5 {
+			break
+		}
+	}
+	if !reachable {
+		return core.Source{}, fmt.Errorf("source %s cannot receive record route packets", addr)
+	}
+	return core.Source{Agent: agent, Atlas: b.D.AtlasSvc.BuildFor(agent)}, nil
+}
+
+// Measure implements Backend.
+func (b *DeploymentBackend) Measure(src core.Source, dst ipv4.Addr) *core.Result {
+	return b.Engine.MeasureReverse(src, dst)
+}
+
+// RefreshAtlas implements Backend with the deployment's atlas service.
+func (b *DeploymentBackend) RefreshAtlas(src core.Source) {
+	b.D.AtlasSvc.Refresh(src.Atlas)
+}

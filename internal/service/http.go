@@ -1,0 +1,193 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"revtr/internal/netsim/ipv4"
+)
+
+// API is the HTTP front end (the REST flavour of the Appendix A APIs).
+//
+//	POST /api/v1/users            admin: create a user           (X-Admin-Key)
+//	POST /api/v1/sources          register + bootstrap a source  (X-API-Key)
+//	GET  /api/v1/sources          list sources
+//	POST /api/v1/revtr            run reverse traceroutes        (X-API-Key)
+//	GET  /api/v1/revtr/{id}       fetch a stored measurement
+//	GET  /api/v1/stats            service statistics
+//	GET  /api/v1/health           liveness
+type API struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// NewAPI builds the HTTP handler over a registry.
+func NewAPI(reg *Registry) *API {
+	a := &API{reg: reg, mux: http.NewServeMux()}
+	a.mux.HandleFunc("POST /api/v1/users", a.handleAddUser)
+	a.mux.HandleFunc("POST /api/v1/sources", a.handleAddSource)
+	a.mux.HandleFunc("GET /api/v1/sources", a.handleListSources)
+	a.mux.HandleFunc("POST /api/v1/revtr", a.handleMeasure)
+	a.mux.HandleFunc("GET /api/v1/revtr/{id}", a.handleGet)
+	a.mux.HandleFunc("POST /api/v1/ndt", a.handleNDT)
+	a.mux.HandleFunc("GET /api/v1/stats", a.handleStats)
+	a.mux.HandleFunc("GET /api/v1/health", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnauthorized):
+		code = http.StatusUnauthorized
+	case errors.Is(err, ErrRateLimited):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrUnknownSource):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBootstrap):
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (a *API) handleAddUser(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name        string `json:"name"`
+		MaxParallel int    `json:"maxParallel"`
+		MaxPerDay   int    `json:"maxPerDay"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+		return
+	}
+	u, err := a.reg.AddUser(r.Header.Get("X-Admin-Key"), req.Name, req.MaxParallel, req.MaxPerDay)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, u)
+}
+
+func (a *API) handleAddSource(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr      string `json:"addr"`
+		ServeAsVP bool   `json:"serveAsVP"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+		return
+	}
+	addr, err := ipv4.ParseAddr(req.Addr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad source address"})
+		return
+	}
+	info, err := a.reg.RegisterSource(r.Header.Get("X-API-Key"), addr, req.ServeAsVP)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (a *API) handleListSources(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.reg.Sources())
+}
+
+func (a *API) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Src  string   `json:"src"`
+		Dsts []string `json:"dsts"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+		return
+	}
+	src, err := ipv4.ParseAddr(req.Src)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad src address"})
+		return
+	}
+	key := r.Header.Get("X-API-Key")
+	var out []*Measurement
+	for _, ds := range req.Dsts {
+		dst, err := ipv4.ParseAddr(ds)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad dst address " + ds})
+			return
+		}
+		m, err := a.reg.Measure(key, src, dst)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out = append(out, m)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad id"})
+		return
+	}
+	m, ok := a.reg.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such measurement"})
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// handleNDT is the Appendix A hook: an NDT server reports a speed test
+// and the service opportunistically measures the reverse path from the
+// client. No API key: the hook runs on trusted infrastructure; load
+// shedding protects the system.
+func (a *API) handleNDT(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Server string `json:"server"`
+		Client string `json:"client"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+		return
+	}
+	server, err1 := ipv4.ParseAddr(req.Server)
+	client, err2 := ipv4.ParseAddr(req.Client)
+	if err1 != nil || err2 != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad address"})
+		return
+	}
+	m, err := a.reg.NDT(server, client)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if m == nil {
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "shed"})
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.reg.Stats())
+}

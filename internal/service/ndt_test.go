@@ -1,0 +1,51 @@
+package service_test
+
+import (
+	"net/http"
+	"testing"
+
+	"revtr/internal/service"
+)
+
+func TestNDTHook(t *testing.T) {
+	ts, d := testAPI(t)
+	// Register a source through the API first.
+	resp := postJSON(t, ts.URL+"/api/v1/users",
+		map[string]string{"X-Admin-Key": "admin-secret"}, map[string]any{"name": "ops"})
+	u := decode[service.User](t, resp)
+	server := d.PickSourceHost(0)
+	resp = postJSON(t, ts.URL+"/api/v1/sources",
+		map[string]string{"X-API-Key": u.APIKey},
+		map[string]any{"addr": server.Addr.String()})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add source: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// An NDT test reports a client; the service measures the reverse
+	// path opportunistically — no API key needed.
+	var client string
+	for _, h := range d.OnePerPrefix() {
+		if h.AS != server.AS {
+			client = h.Addr.String()
+			break
+		}
+	}
+	resp = postJSON(t, ts.URL+"/api/v1/ndt", nil,
+		map[string]any{"server": server.Addr.String(), "client": client})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ndt: %d", resp.StatusCode)
+	}
+	m := decode[service.Measurement](t, resp)
+	if m.Dst != client || len(m.Hops) == 0 {
+		t.Fatalf("ndt measurement: %+v", m)
+	}
+
+	// NDT toward an unregistered server is refused.
+	resp = postJSON(t, ts.URL+"/api/v1/ndt", nil,
+		map[string]any{"server": client, "client": server.Addr.String()})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ndt unknown server: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

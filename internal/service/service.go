@@ -1,0 +1,361 @@
+// Package service implements the open Reverse Traceroute service of
+// Appendix A: a REST API through which users register sources (triggering
+// the bootstrap: a record-route reachability check, atlas construction,
+// and RR-alias probing), request reverse traceroute measurements to
+// registered sources with per-user rate limits, and retrieve stored
+// results. The real deployment exposes the same operations over REST and
+// gRPC in front of its M-Lab vantage points; here the "Internet" is the
+// simulated deployment.
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"revtr/internal/core"
+	"revtr/internal/netsim/ipv4"
+)
+
+// User is a registered API user with the two rate-limit parameters the
+// paper describes: parallel measurements and measurements per day.
+type User struct {
+	Name        string `json:"name"`
+	APIKey      string `json:"apiKey"`
+	MaxParallel int    `json:"maxParallel"`
+	MaxPerDay   int    `json:"maxPerDay"`
+
+	usedToday int
+	inFlight  int
+}
+
+// SourceInfo describes a registered Reverse Traceroute source.
+type SourceInfo struct {
+	Addr           string `json:"addr"`
+	AtlasSize      int    `json:"atlasSize"`
+	RRReachable    bool   `json:"rrReachable"`
+	ServesAsVP     bool   `json:"servesAsVP"`
+	RegisteredAtUS int64  `json:"registeredAtUs"`
+}
+
+// Measurement is a stored reverse traceroute result.
+type Measurement struct {
+	ID         int           `json:"id"`
+	Src        string        `json:"src"`
+	Dst        string        `json:"dst"`
+	Status     string        `json:"status"`
+	Hops       []MeasuredHop `json:"hops"`
+	DurationUS int64         `json:"durationUs"`
+	Probes     uint64        `json:"probes"`
+}
+
+// MeasuredHop is one hop of a stored result.
+type MeasuredHop struct {
+	Addr      string `json:"addr"`
+	Technique string `json:"technique"`
+	Suspect   bool   `json:"suspectMissingBefore,omitempty"`
+}
+
+var (
+	// ErrRateLimited is returned when a user exceeds a quota.
+	ErrRateLimited = errors.New("service: rate limited")
+	// ErrUnknownSource is returned for measurements toward unregistered
+	// sources.
+	ErrUnknownSource = errors.New("service: source not registered")
+	// ErrUnauthorized is returned for missing/invalid API keys.
+	ErrUnauthorized = errors.New("service: unauthorized")
+	// ErrBootstrap is returned when a source cannot be bootstrapped.
+	ErrBootstrap = errors.New("service: source bootstrap failed")
+)
+
+// Backend abstracts the measurement system the service fronts (the
+// simulated deployment in this repository; the M-Lab deployment in the
+// real system).
+type Backend interface {
+	// RegisterSource bootstraps a source: RR reachability check + atlas.
+	RegisterSource(addr ipv4.Addr) (core.Source, error)
+	// Measure runs one reverse traceroute.
+	Measure(src core.Source, dst ipv4.Addr) *core.Result
+	// RefreshAtlas re-measures a source's atlas (the daily Random++
+	// replacement of Appendix D.2).
+	RefreshAtlas(src core.Source)
+}
+
+// Registry is the service state: users, sources, and the measurement
+// archive. Safe for concurrent use.
+type Registry struct {
+	mu          sync.Mutex
+	backend     Backend
+	users       map[string]*User // by API key
+	sources     map[ipv4.Addr]*registeredSource
+	store       []*Measurement
+	adminKey    string
+	ndtInFlight int
+}
+
+type registeredSource struct {
+	info SourceInfo
+	src  core.Source
+}
+
+// NewRegistry creates the service state. adminKey authorizes user
+// management.
+func NewRegistry(backend Backend, adminKey string) *Registry {
+	return &Registry{
+		backend:  backend,
+		users:    make(map[string]*User),
+		sources:  make(map[ipv4.Addr]*registeredSource),
+		adminKey: adminKey,
+	}
+}
+
+// newKey mints a random API key.
+func newKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// AddUser registers a user (admin operation; the real system maintains
+// this database manually).
+func (r *Registry) AddUser(adminKey, name string, maxParallel, maxPerDay int) (*User, error) {
+	if adminKey != r.adminKey {
+		return nil, ErrUnauthorized
+	}
+	if maxParallel <= 0 {
+		maxParallel = 4
+	}
+	if maxPerDay <= 0 {
+		maxPerDay = 1000
+	}
+	u := &User{Name: name, APIKey: newKey(), MaxParallel: maxParallel, MaxPerDay: maxPerDay}
+	r.mu.Lock()
+	r.users[u.APIKey] = u
+	r.mu.Unlock()
+	return u, nil
+}
+
+// Authenticate resolves an API key to a user.
+func (r *Registry) Authenticate(key string) (*User, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[key]
+	if !ok {
+		return nil, ErrUnauthorized
+	}
+	return u, nil
+}
+
+// RegisterSource bootstraps and registers a source for measurements
+// (Appx A: "the process starts by checking whether the source can receive
+// record route packets", then builds its traceroute atlas).
+func (r *Registry) RegisterSource(key string, addr ipv4.Addr, serveAsVP bool) (SourceInfo, error) {
+	if _, err := r.Authenticate(key); err != nil {
+		return SourceInfo{}, err
+	}
+	r.mu.Lock()
+	if reg, ok := r.sources[addr]; ok {
+		info := reg.info
+		r.mu.Unlock()
+		return info, nil
+	}
+	r.mu.Unlock()
+
+	src, err := r.backend.RegisterSource(addr)
+	if err != nil {
+		return SourceInfo{}, fmt.Errorf("%w: %v", ErrBootstrap, err)
+	}
+	info := SourceInfo{
+		Addr:        addr.String(),
+		AtlasSize:   src.Atlas.Size(),
+		RRReachable: true,
+		ServesAsVP:  serveAsVP,
+	}
+	r.mu.Lock()
+	r.sources[addr] = &registeredSource{info: info, src: src}
+	r.mu.Unlock()
+	return info, nil
+}
+
+// Sources lists registered sources.
+func (r *Registry) Sources() []SourceInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SourceInfo, 0, len(r.sources))
+	for _, s := range r.sources {
+		out = append(out, s.info)
+	}
+	return out
+}
+
+// Measure runs a reverse traceroute from dst to the registered source,
+// enforcing the user's quotas, and archives the result.
+func (r *Registry) Measure(key string, srcAddr, dstAddr ipv4.Addr) (*Measurement, error) {
+	u, err := r.Authenticate(key)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	reg, ok := r.sources[srcAddr]
+	if !ok {
+		r.mu.Unlock()
+		return nil, ErrUnknownSource
+	}
+	if u.usedToday >= u.MaxPerDay || u.inFlight >= u.MaxParallel {
+		r.mu.Unlock()
+		return nil, ErrRateLimited
+	}
+	u.usedToday++
+	u.inFlight++
+	r.mu.Unlock()
+
+	res := r.backend.Measure(reg.src, dstAddr)
+
+	r.mu.Lock()
+	u.inFlight--
+	m := &Measurement{
+		ID:         len(r.store),
+		Src:        srcAddr.String(),
+		Dst:        dstAddr.String(),
+		Status:     res.Status.String(),
+		DurationUS: res.DurationUS,
+		Probes:     res.Probes.Total(),
+	}
+	for _, h := range res.Hops {
+		m.Hops = append(m.Hops, MeasuredHop{
+			Addr:      h.Addr.String(),
+			Technique: h.Tech.String(),
+			Suspect:   h.SuspectBefore,
+		})
+	}
+	r.store = append(r.store, m)
+	r.mu.Unlock()
+	return m, nil
+}
+
+// Get retrieves a stored measurement by ID.
+func (r *Registry) Get(id int) (*Measurement, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= len(r.store) {
+		return nil, false
+	}
+	return r.store[id], true
+}
+
+// ResetDay clears the per-day counters (the real system rolls these at
+// midnight).
+func (r *Registry) ResetDay() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, u := range r.users {
+		u.usedToday = 0
+	}
+}
+
+// DailyMaintenance is the midnight job: refresh every source's traceroute
+// atlas (entries intersected during the day survive and are re-measured;
+// the rest are replaced with fresh random probes — Appendix D.2's
+// Random++ policy) and roll the per-user quotas. Returns per-source atlas
+// sizes after refresh.
+func (r *Registry) DailyMaintenance() map[string]int {
+	r.mu.Lock()
+	var srcs []*registeredSource
+	for _, reg := range r.sources {
+		srcs = append(srcs, reg)
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]int, len(srcs))
+	for _, reg := range srcs {
+		r.backend.RefreshAtlas(reg.src)
+		r.mu.Lock()
+		reg.info.AtlasSize = reg.src.Atlas.Size()
+		out[reg.info.Addr] = reg.info.AtlasSize
+		r.mu.Unlock()
+	}
+	r.ResetDay()
+	return out
+}
+
+// UsefulEntries reports how many of a source's atlas entries have been
+// intersected since the last refresh.
+func (r *Registry) UsefulEntries(addr ipv4.Addr) (useful, total int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg, found := r.sources[addr]
+	if !found {
+		return 0, 0, false
+	}
+	for _, e := range reg.src.Atlas.Entries {
+		if e.Useful {
+			useful++
+		}
+	}
+	return useful, reg.src.Atlas.Size(), true
+}
+
+// NDT implements the Appendix A measurement hook: when a client runs an
+// NDT speed test against a server that is a registered source, the
+// service opportunistically measures the reverse path from the client to
+// that server (complementing M-Lab's forward traceroute). Acceptance
+// depends on system load, modelled as a simple in-flight cap; rejected
+// requests return (nil, nil) — they are best-effort by design.
+func (r *Registry) NDT(serverAddr, clientAddr ipv4.Addr) (*Measurement, error) {
+	r.mu.Lock()
+	reg, ok := r.sources[serverAddr]
+	if !ok {
+		r.mu.Unlock()
+		return nil, ErrUnknownSource
+	}
+	if r.ndtInFlight >= maxNDTInFlight {
+		r.mu.Unlock()
+		return nil, nil // load shedding
+	}
+	r.ndtInFlight++
+	r.mu.Unlock()
+
+	res := r.backend.Measure(reg.src, clientAddr)
+
+	r.mu.Lock()
+	r.ndtInFlight--
+	m := &Measurement{
+		ID:         len(r.store),
+		Src:        serverAddr.String(),
+		Dst:        clientAddr.String(),
+		Status:     res.Status.String(),
+		DurationUS: res.DurationUS,
+		Probes:     res.Probes.Total(),
+	}
+	for _, h := range res.Hops {
+		m.Hops = append(m.Hops, MeasuredHop{
+			Addr:      h.Addr.String(),
+			Technique: h.Tech.String(),
+			Suspect:   h.SuspectBefore,
+		})
+	}
+	r.store = append(r.store, m)
+	r.mu.Unlock()
+	return m, nil
+}
+
+// maxNDTInFlight bounds opportunistic NDT-triggered measurements.
+const maxNDTInFlight = 8
+
+// Stats summarizes service state.
+type Stats struct {
+	Users        int `json:"users"`
+	Sources      int `json:"sources"`
+	Measurements int `json:"measurements"`
+}
+
+// Stats returns current counts.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{Users: len(r.users), Sources: len(r.sources), Measurements: len(r.store)}
+}
