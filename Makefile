@@ -1,0 +1,27 @@
+# Build / test entry points. `make ci` is what every PR must pass: vet
+# plus the full suite under the race detector (the service and campaign
+# layers are concurrent; -race is load-bearing, not optional).
+
+GO ?= go
+
+.PHONY: build test short vet race ci bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet race
+
+bench:
+	$(GO) test -bench=MeasureReverse -benchmem

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"revtr/internal/ip2as"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/netsim/topology"
+	"revtr/internal/obs"
 )
 
 func main() {
@@ -30,6 +32,8 @@ func main() {
 		sources = flag.Int("sources", 8, "number of sources (vantage point sites)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 		maxDest = flag.Int("dests", 0, "cap destinations (0 = one per routed prefix)")
+		every   = flag.Int("progress-every", 500, "log live progress every N completed tasks (0 = off)")
+		dumpObs = flag.Bool("metrics", false, "print the observability registry (engine stages, cache, latency histograms) after the run")
 	)
 	flag.Parse()
 
@@ -60,8 +64,12 @@ func main() {
 		symShare  int
 		asCovered = map[topology.ASN]bool{}
 	)
+	obsReg := obs.New()
+	start := time.Now()
 	r := &campaign.Runner{
 		D: d, Sources: srcs, Opts: core.Revtr20Options(), Workers: *workers,
+		Obs:           obsReg,
+		ProgressEvery: *every,
 		OnResult: func(o campaign.Outcome) {
 			if o.Result.Status != core.StatusComplete {
 				return
@@ -76,7 +84,16 @@ func main() {
 			mu.Unlock()
 		},
 	}
-	start := time.Now()
+	if *every > 0 {
+		// Live §5.2.4-style throughput accounting while the campaign runs.
+		r.OnProgress = func(p campaign.Progress) {
+			elapsed := time.Since(start).Seconds()
+			log.Printf("progress: %d/%d (%.1f%%) complete=%d aborted=%d failed=%d | %.0f revtr/s | %d probes",
+				p.Done, p.Total, 100*float64(p.Done)/float64(max(1, p.Total)),
+				p.Complete, p.Aborted, p.Failed,
+				float64(p.Done)/elapsed, p.Probes)
+		}
+	}
 	sum := r.Run(tasks)
 	wall := time.Since(start)
 
@@ -91,9 +108,17 @@ func main() {
 		sum.Probes.Total(), float64(sum.Probes.Total())/float64(max(1, sum.Attempted)))
 	fmt.Printf("ASes on measured reverse paths: %d of %d (%.1f%%; paper: 39.5K of 72K)\n",
 		len(asCovered), len(d.Topo.ASes), 100*float64(len(asCovered))/float64(len(d.Topo.ASes)))
+	if sum.Invalid > 0 {
+		fmt.Printf("invalid tasks:         %d (rejected up front, counted as failed)\n", sum.Invalid)
+	}
 	fmt.Printf("wall time:             %.1fs (%.0f revtr/s on this machine)\n",
 		wall.Seconds(), float64(sum.Attempted)/wall.Seconds())
 	fmt.Printf("virtual measurement time: %.0fs total\n", float64(sum.VirtualUS)/1e6)
+
+	if *dumpObs {
+		fmt.Printf("\n== observability registry ==\n")
+		_ = obsReg.WriteText(os.Stdout)
+	}
 }
 
 func max(a, b int) int {

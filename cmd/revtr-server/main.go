@@ -1,7 +1,11 @@
 // Command revtr-server runs the open Reverse Traceroute service
 // (Appendix A) over a freshly generated simulated Internet: it builds the
 // deployment (topology, vantage points, ingress survey), then serves the
-// REST API.
+// REST API from a hardened http.Server (connection timeouts, graceful
+// shutdown on SIGINT/SIGTERM) with observability built in:
+//
+//	GET /metrics   engine + service counters, gauges, latency histograms
+//	GET /healthz   plain-text liveness probe
 //
 //	revtr-server -listen :8080 -ases 1000 -admin-key secret
 //
@@ -12,22 +16,32 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"revtr"
+	"revtr/internal/core"
 	"revtr/internal/service"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8080", "listen address")
-		ases     = flag.Int("ases", 1000, "ASes in the simulated Internet")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		adminKey = flag.String("admin-key", "admin", "admin API key for user management")
-		sites    = flag.Int("sites", 30, "vantage point sites")
+		listen       = flag.String("listen", ":8080", "listen address")
+		ases         = flag.Int("ases", 1000, "ASes in the simulated Internet")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		adminKey     = flag.String("admin-key", "admin", "admin API key for user management")
+		sites        = flag.Int("sites", 30, "vantage point sites")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bulk measurements take a while)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -40,7 +54,11 @@ func main() {
 	log.Printf("topology: %s", d.Topo.Stats())
 	log.Printf("background probes consumed: %d", d.BackgroundProbes.Total())
 
-	reg := service.NewRegistry(service.NewDeploymentBackend(d), *adminKey)
+	backend := service.NewDeploymentBackend(d)
+	reg := service.NewRegistry(backend, *adminKey)
+	// Engine metrics land in the same registry the service renders on
+	// GET /metrics, so per-stage engine accounting is live from request 1.
+	backend.Engine.SetMetrics(core.NewMetrics(reg.Obs()))
 	api := service.NewAPI(reg)
 
 	// Print a few example destination addresses so users can try the API
@@ -55,6 +73,38 @@ func main() {
 	}
 	fmt.Printf("example source host:   %s\n", d.PickSourceHost(0).Addr)
 
-	log.Printf("serving on %s", *listen)
-	log.Fatal(http.ListenAndServe(*listen, api))
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (metrics on /metrics, liveness on /healthz)", *listen)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("server: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("signal received, draining connections (max %s)...", *drainTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("server: %v", err)
+		}
+		st := reg.Stats()
+		log.Printf("drained: %d users, %d sources, %d measurements archived",
+			st.Users, st.Sources, st.Measurements)
+	}
 }

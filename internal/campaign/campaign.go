@@ -14,11 +14,13 @@ package campaign
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"revtr"
 	"revtr/internal/core"
 	"revtr/internal/measure"
 	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
 )
 
 // Task is one reverse traceroute request.
@@ -39,7 +41,10 @@ type Summary struct {
 	Complete  int
 	Aborted   int
 	Failed    int
-	Probes    measure.Counters
+	// Invalid counts tasks rejected up front (SourceIdx out of range).
+	// They are included in Attempted and Failed.
+	Invalid int
+	Probes  measure.Counters
 	// VirtualUS sums per-measurement virtual durations (the system runs
 	// them concurrently, so wall time is this divided by parallelism).
 	VirtualUS int64
@@ -53,6 +58,20 @@ func (s Summary) Coverage() float64 {
 	return float64(s.Complete) / float64(s.Attempted)
 }
 
+// Progress is a live snapshot of a running campaign, delivered through
+// Runner.OnProgress — the §5.2.4 throughput accounting (revtrs completed,
+// probes spent, virtual time consumed) observable while the campaign runs
+// instead of only in the final Summary.
+type Progress struct {
+	Done, Total int
+	Complete    int
+	Aborted     int
+	Failed      int
+	Invalid     int
+	Probes      uint64
+	VirtualUS   int64
+}
+
 // Runner executes campaigns over a deployment.
 type Runner struct {
 	D       *revtr.Deployment
@@ -63,10 +82,47 @@ type Runner struct {
 	Workers int
 	// OnResult, if set, receives every outcome (called concurrently).
 	OnResult func(Outcome)
+	// OnProgress, if set, receives a snapshot every ProgressEvery
+	// completed tasks and once at the end (called concurrently from
+	// workers; keep it cheap).
+	OnProgress func(Progress)
+	// ProgressEvery is the OnProgress cadence in tasks (default 64).
+	ProgressEvery int
+	// Obs, if set, receives campaign_* counters/gauges plus the shared
+	// engine metrics of every worker engine, live while the campaign
+	// runs. The same registry can back a service's GET /metrics.
+	Obs *obs.Registry
+}
+
+// progressState tracks live campaign counters shared across workers.
+type progressState struct {
+	total     int
+	done      atomic.Int64
+	complete  atomic.Int64
+	aborted   atomic.Int64
+	failed    atomic.Int64
+	invalid   atomic.Int64
+	probes    atomic.Uint64
+	virtualUS atomic.Int64
+}
+
+func (p *progressState) snapshot() Progress {
+	return Progress{
+		Done:      int(p.done.Load()),
+		Total:     p.total,
+		Complete:  int(p.complete.Load()),
+		Aborted:   int(p.aborted.Load()),
+		Failed:    int(p.failed.Load()),
+		Invalid:   int(p.invalid.Load()),
+		Probes:    p.probes.Load(),
+		VirtualUS: p.virtualUS.Load(),
+	}
 }
 
 // Run measures every (source, destination) task. Tasks are sharded by
-// source so each engine's cache and atlas stay single-writer.
+// source so each engine's cache and atlas stay single-writer. Tasks whose
+// SourceIdx is out of range are rejected up front and counted as Failed
+// (and Invalid) instead of panicking the campaign.
 func (r *Runner) Run(tasks []Task) Summary {
 	workers := r.Workers
 	if workers <= 0 {
@@ -78,11 +134,43 @@ func (r *Runner) Run(tasks []Task) Summary {
 	if workers < 1 {
 		workers = 1
 	}
+	every := r.ProgressEvery
+	if every <= 0 {
+		every = 64
+	}
 
-	// Shard tasks by source, then assign sources round-robin to workers.
+	// Shard valid tasks by source; reject the rest up front.
 	bySource := make([][]Task, len(r.Sources))
+	invalid := 0
 	for _, t := range tasks {
+		if t.SourceIdx < 0 || t.SourceIdx >= len(r.Sources) {
+			invalid++
+			continue
+		}
 		bySource[t.SourceIdx] = append(bySource[t.SourceIdx], t)
+	}
+
+	prog := &progressState{total: len(tasks)}
+	prog.done.Add(int64(invalid))
+	prog.failed.Add(int64(invalid))
+	prog.invalid.Add(int64(invalid))
+
+	// Campaign metrics and shared engine metrics: counters are atomic,
+	// so every worker engine can record into the same set.
+	var engineMetrics *core.Metrics
+	var obsDone, obsFailed, obsInvalid *obs.Counter
+	if r.Obs != nil {
+		engineMetrics = core.NewMetrics(r.Obs)
+		r.Obs.Gauge("campaign_tasks_total").Set(int64(len(tasks)))
+		obsDone = r.Obs.Counter("campaign_tasks_done_total")
+		obsFailed = r.Obs.Counter("campaign_tasks_failed_total")
+		obsInvalid = r.Obs.Counter("campaign_tasks_invalid_total")
+		obsDone.Add(uint64(invalid))
+		obsFailed.Add(uint64(invalid))
+		obsInvalid.Add(uint64(invalid))
+	}
+	if invalid > 0 && r.OnProgress != nil {
+		r.OnProgress(prog.snapshot())
 	}
 
 	var (
@@ -90,6 +178,10 @@ func (r *Runner) Run(tasks []Task) Summary {
 		sum Summary
 		wg  sync.WaitGroup
 	)
+	sum.Attempted = invalid
+	sum.Failed = invalid
+	sum.Invalid = invalid
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -103,6 +195,7 @@ func (r *Runner) Run(tasks []Task) Summary {
 				prober := measure.NewProber(r.D.Fabric)
 				eng := core.NewEngine(r.D.Fabric, prober, r.D.IngressSvc, r.D.SiteAgents,
 					r.D.Alias, r.D.Mapper, nil, r.Opts)
+				eng.SetMetrics(engineMetrics)
 				src := r.Sources[si]
 				for _, t := range bySource[si] {
 					res := eng.MeasureReverse(src, t.Dst)
@@ -110,14 +203,25 @@ func (r *Runner) Run(tasks []Task) Summary {
 					switch res.Status {
 					case core.StatusComplete:
 						local.Complete++
+						prog.complete.Add(1)
 					case core.StatusAborted:
 						local.Aborted++
+						prog.aborted.Add(1)
 					default:
 						local.Failed++
+						prog.failed.Add(1)
+						obsFailed.Inc()
 					}
 					local.VirtualUS += res.DurationUS
+					prog.virtualUS.Add(res.DurationUS)
+					prog.probes.Add(res.Probes.Total())
 					if r.OnResult != nil {
 						r.OnResult(Outcome{Task: t, Result: res})
+					}
+					done := prog.done.Add(1)
+					obsDone.Inc()
+					if r.OnProgress != nil && (done%int64(every) == 0 || done == int64(prog.total)) {
+						r.OnProgress(prog.snapshot())
 					}
 				}
 				local.Probes.Add(prober.Count)

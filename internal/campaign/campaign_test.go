@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"revtr/internal/campaign"
 	"revtr/internal/core"
 	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
 )
 
 func testRunner(t *testing.T, workers int) (*campaign.Runner, []ipv4.Addr) {
@@ -85,6 +87,97 @@ func TestCampaignCallback(t *testing.T) {
 	r.Run(tasks)
 	if int(calls.Load()) != len(tasks) {
 		t.Fatalf("callback calls %d != tasks %d", calls.Load(), len(tasks))
+	}
+}
+
+// TestCampaignMalformedTasks: tasks with out-of-range SourceIdx must not
+// panic the runner (the seed crashed with index-out-of-range); they count
+// as Failed (and Invalid) in the summary alongside the valid work.
+func TestCampaignMalformedTasks(t *testing.T) {
+	r, dsts := testRunner(t, 2)
+	tasks := campaign.AllPairs(len(r.Sources), dsts[:5])
+	nValid := len(tasks)
+	tasks = append(tasks,
+		campaign.Task{SourceIdx: -1, Dst: dsts[0]},
+		campaign.Task{SourceIdx: len(r.Sources), Dst: dsts[1]},
+		campaign.Task{SourceIdx: 9999, Dst: dsts[2]},
+	)
+	sum := r.Run(tasks)
+	if sum.Attempted != len(tasks) {
+		t.Fatalf("attempted %d != %d", sum.Attempted, len(tasks))
+	}
+	if sum.Invalid != 3 {
+		t.Fatalf("invalid = %d, want 3", sum.Invalid)
+	}
+	if sum.Failed < 3 {
+		t.Fatalf("failed = %d, want >= 3 (invalid tasks count as failed)", sum.Failed)
+	}
+	if sum.Complete+sum.Aborted+sum.Failed != sum.Attempted {
+		t.Fatal("status counts do not add up")
+	}
+	if sum.Complete == 0 && nValid > 0 {
+		t.Fatal("valid tasks did not run")
+	}
+}
+
+// TestCampaignAllMalformed: a campaign of only invalid tasks terminates
+// with everything failed and no panic.
+func TestCampaignAllMalformed(t *testing.T) {
+	r, dsts := testRunner(t, 2)
+	tasks := []campaign.Task{
+		{SourceIdx: -5, Dst: dsts[0]},
+		{SourceIdx: 100, Dst: dsts[0]},
+	}
+	sum := r.Run(tasks)
+	if sum.Attempted != 2 || sum.Failed != 2 || sum.Invalid != 2 {
+		t.Fatalf("summary = %+v, want 2 attempted/failed/invalid", sum)
+	}
+}
+
+// TestCampaignProgress: OnProgress delivers monotonically advancing
+// snapshots ending at Done == Total, and the obs registry carries the
+// same accounting.
+func TestCampaignProgress(t *testing.T) {
+	r, dsts := testRunner(t, 2)
+	reg := obs.New()
+	r.Obs = reg
+	r.ProgressEvery = 7
+	var (
+		mu       sync.Mutex
+		lastDone int
+		calls    int
+		final    campaign.Progress
+	)
+	r.OnProgress = func(p campaign.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if p.Done < lastDone {
+			t.Errorf("progress went backwards: %d after %d", p.Done, lastDone)
+		}
+		lastDone = p.Done
+		final = p
+	}
+	tasks := campaign.AllPairs(len(r.Sources), dsts[:10])
+	sum := r.Run(tasks)
+	if calls == 0 {
+		t.Fatal("OnProgress never called")
+	}
+	if final.Done != len(tasks) || final.Total != len(tasks) {
+		t.Fatalf("final progress %d/%d, want %d/%d", final.Done, final.Total, len(tasks), len(tasks))
+	}
+	if got := reg.Counter("campaign_tasks_done_total").Value(); got != uint64(len(tasks)) {
+		t.Fatalf("obs done counter = %d, want %d", got, len(tasks))
+	}
+	if reg.Gauge("campaign_tasks_total").Value() != int64(len(tasks)) {
+		t.Fatal("obs total gauge wrong")
+	}
+	// Engine metrics are shared across workers via the same registry.
+	eng := reg.Counter("engine_measure_complete_total").Value() +
+		reg.Counter("engine_measure_aborted_total").Value() +
+		reg.Counter("engine_measure_failed_total").Value()
+	if eng != uint64(sum.Attempted-sum.Invalid) {
+		t.Fatalf("engine outcome counters = %d, want %d", eng, sum.Attempted-sum.Invalid)
 	}
 }
 

@@ -9,11 +9,29 @@ import (
 // traceroutes within a TTL window (Insight 1.4: most paths are stable, so
 // measurements can be cached for a day). Keys include the source because
 // reverse hops depend on the destination of the reply.
+//
+// Entries are evicted three ways so a long-running service never grows the
+// maps without bound: a lookup that finds an expired entry deletes it, an
+// opportunistic sweep every cacheSweepEvery writes drops everything past
+// its TTL, and a hard size cap (Options.CacheMaxEntries across both maps)
+// evicts oldest-first when the sweep alone is not enough. The cache is
+// single-writer (one engine), so no locking; eviction counts flow into the
+// engine's Metrics.
 type cache struct {
-	ttlUS int64
-	rr    map[cacheKey]rrEntry
-	tr    map[cacheKey]trEntry
+	ttlUS      int64
+	maxEntries int
+	rr         map[cacheKey]rrEntry
+	tr         map[cacheKey]trEntry
+
+	writesSinceSweep int
+	metrics          *Metrics
 }
+
+// cacheSweepEvery is the opportunistic sweep interval, in cache writes.
+const cacheSweepEvery = 1024
+
+// defaultCacheMaxEntries bounds each engine cache when Options does not.
+const defaultCacheMaxEntries = 1 << 16
 
 type cacheKey struct {
 	target ipv4.Addr
@@ -31,17 +49,31 @@ type trEntry struct {
 	atUS int64
 }
 
-func newCache(ttlUS int64) *cache {
+func newCache(ttlUS int64, maxEntries int) *cache {
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheMaxEntries
+	}
 	return &cache{
-		ttlUS: ttlUS,
-		rr:    make(map[cacheKey]rrEntry),
-		tr:    make(map[cacheKey]trEntry),
+		ttlUS:      ttlUS,
+		maxEntries: maxEntries,
+		rr:         make(map[cacheKey]rrEntry),
+		tr:         make(map[cacheKey]trEntry),
 	}
 }
 
+// size is the total entry count across both maps.
+func (c *cache) size() int { return len(c.rr) + len(c.tr) }
+
 func (c *cache) getRR(target, src ipv4.Addr, nowUS int64) ([]ipv4.Addr, Technique, bool) {
-	e, ok := c.rr[cacheKey{target, src}]
-	if !ok || nowUS-e.atUS > c.ttlUS {
+	k := cacheKey{target, src}
+	e, ok := c.rr[k]
+	if ok && nowUS-e.atUS > c.ttlUS {
+		delete(c.rr, k)
+		c.metrics.evicted(1)
+		ok = false
+	}
+	c.metrics.cacheRR(ok)
+	if !ok {
 		return nil, 0, false
 	}
 	return e.revHops, e.tech, true
@@ -49,11 +81,19 @@ func (c *cache) getRR(target, src ipv4.Addr, nowUS int64) ([]ipv4.Addr, Techniqu
 
 func (c *cache) putRR(target, src ipv4.Addr, hops []ipv4.Addr, tech Technique, nowUS int64) {
 	c.rr[cacheKey{target, src}] = rrEntry{revHops: hops, tech: tech, atUS: nowUS}
+	c.maybeSweep(nowUS)
 }
 
 func (c *cache) getTraceroute(target, src ipv4.Addr, nowUS int64) (measure.TracerouteResult, bool) {
-	e, ok := c.tr[cacheKey{target, src}]
-	if !ok || nowUS-e.atUS > c.ttlUS {
+	k := cacheKey{target, src}
+	e, ok := c.tr[k]
+	if ok && nowUS-e.atUS > c.ttlUS {
+		delete(c.tr, k)
+		c.metrics.evicted(1)
+		ok = false
+	}
+	c.metrics.cacheTR(ok)
+	if !ok {
 		return measure.TracerouteResult{}, false
 	}
 	return e.tr, true
@@ -61,10 +101,75 @@ func (c *cache) getTraceroute(target, src ipv4.Addr, nowUS int64) (measure.Trace
 
 func (c *cache) putTraceroute(target, src ipv4.Addr, tr measure.TracerouteResult, nowUS int64) {
 	c.tr[cacheKey{target, src}] = trEntry{tr: tr, atUS: nowUS}
+	c.maybeSweep(nowUS)
+}
+
+// maybeSweep runs the periodic sweep every cacheSweepEvery writes, or
+// immediately when the size cap is exceeded.
+func (c *cache) maybeSweep(nowUS int64) {
+	c.writesSinceSweep++
+	if c.writesSinceSweep < cacheSweepEvery && c.size() <= c.maxEntries {
+		return
+	}
+	c.writesSinceSweep = 0
+	c.sweep(nowUS)
+}
+
+// sweep drops TTL-expired entries, then — if the cache is still over its
+// cap — evicts oldest-first until it fits.
+func (c *cache) sweep(nowUS int64) {
+	evicted := 0
+	for k, e := range c.rr {
+		if nowUS-e.atUS > c.ttlUS {
+			delete(c.rr, k)
+			evicted++
+		}
+	}
+	for k, e := range c.tr {
+		if nowUS-e.atUS > c.ttlUS {
+			delete(c.tr, k)
+			evicted++
+		}
+	}
+	for c.size() > c.maxEntries {
+		evicted += c.evictOldest()
+	}
+	c.metrics.evicted(evicted)
+}
+
+// evictOldest removes the single oldest entry across both maps. It is the
+// slow path, only reached when unexpired entries alone exceed the cap.
+func (c *cache) evictOldest() int {
+	var (
+		found    bool
+		fromRR   bool
+		oldestK  cacheKey
+		oldestUS int64
+	)
+	for k, e := range c.rr {
+		if !found || e.atUS < oldestUS {
+			found, fromRR, oldestK, oldestUS = true, true, k, e.atUS
+		}
+	}
+	for k, e := range c.tr {
+		if !found || e.atUS < oldestUS {
+			found, fromRR, oldestK, oldestUS = true, false, k, e.atUS
+		}
+	}
+	if !found {
+		return 0
+	}
+	if fromRR {
+		delete(c.rr, oldestK)
+	} else {
+		delete(c.tr, oldestK)
+	}
+	return 1
 }
 
 // Flush drops everything (used between experiment phases).
 func (c *cache) Flush() {
 	c.rr = make(map[cacheKey]rrEntry)
 	c.tr = make(map[cacheKey]trEntry)
+	c.writesSinceSweep = 0
 }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"revtr/internal/measure"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
+)
+
+func addr(t *testing.T, s string) ipv4.Addr {
+	t.Helper()
+	a, err := ipv4.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestCacheEvictsExpiredOnGet: a lookup that finds a TTL-expired entry
+// must delete it (the seed only reported a miss and kept the entry
+// forever).
+func TestCacheEvictsExpiredOnGet(t *testing.T) {
+	reg := obs.New()
+	c := newCache(1_000, 0)
+	c.metrics = NewMetrics(reg)
+	src := addr(t, "10.0.0.1")
+	tgt := addr(t, "10.0.0.2")
+
+	c.putRR(tgt, src, []ipv4.Addr{src}, TechRR, 0)
+	c.putTraceroute(tgt, src, measure.TracerouteResult{ReachedDst: true}, 0)
+	if c.size() != 2 {
+		t.Fatalf("size = %d, want 2", c.size())
+	}
+
+	// Past the TTL: both lookups miss AND remove the entries.
+	if _, _, ok := c.getRR(tgt, src, 5_000); ok {
+		t.Fatal("expired RR entry served")
+	}
+	if _, ok := c.getTraceroute(tgt, src, 5_000); ok {
+		t.Fatal("expired traceroute entry served")
+	}
+	if c.size() != 0 {
+		t.Fatalf("expired entries not deleted: size = %d", c.size())
+	}
+	if got := reg.Counter("engine_cache_evictions_total").Value(); got != 2 {
+		t.Fatalf("evictions counter = %d, want 2", got)
+	}
+}
+
+// TestCacheSweepDropsExpired: entries never touched by a lookup are still
+// reclaimed by the periodic write-triggered sweep.
+func TestCacheSweepDropsExpired(t *testing.T) {
+	c := newCache(1_000, 0)
+	src := addr(t, "10.0.0.1")
+	for i := 0; i < cacheSweepEvery-1; i++ {
+		c.putRR(addr(t, fmt.Sprintf("10.1.%d.%d", i/200, i%200+1)), src, nil, TechRR, 0)
+	}
+	// The write that completes the sweep interval arrives far in the
+	// future: the sweep must reclaim every expired entry.
+	c.putRR(addr(t, "10.9.9.9"), src, nil, TechRR, 10_000)
+	if got := len(c.rr); got != 1 {
+		t.Fatalf("sweep left %d entries, want 1 (the fresh one)", got)
+	}
+}
+
+// TestCacheSizeCap: unexpired entries beyond CacheMaxEntries evict
+// oldest-first so the maps stay bounded even within one TTL window.
+func TestCacheSizeCap(t *testing.T) {
+	const maxN = 32
+	c := newCache(1 << 60, maxN) // nothing ever expires
+	src := addr(t, "10.0.0.1")
+	for i := 0; i < 4*maxN; i++ {
+		c.putRR(addr(t, fmt.Sprintf("10.2.%d.%d", i/200, i%200+1)), src, nil, TechRR, int64(i))
+		if c.size() > maxN+1 {
+			t.Fatalf("cache exceeded cap: size = %d after %d puts", c.size(), i+1)
+		}
+	}
+	if c.size() > maxN {
+		t.Fatalf("final size %d > cap %d", c.size(), maxN)
+	}
+	// The newest entry must have survived oldest-first eviction.
+	last := addr(t, fmt.Sprintf("10.2.%d.%d", (4*maxN-1)/200, (4*maxN-1)%200+1))
+	if _, _, ok := c.getRR(last, src, int64(4*maxN)); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+}
+
+// TestEngineCacheBounded drives the cap through the engine-facing option.
+func TestEngineCacheBounded(t *testing.T) {
+	opts := Revtr20Options()
+	opts.CacheMaxEntries = 8
+	c := newCache(opts.CacheTTLUS, opts.CacheMaxEntries)
+	src := addr(t, "10.0.0.1")
+	for i := 0; i < 100; i++ {
+		c.putTraceroute(addr(t, fmt.Sprintf("10.3.0.%d", i+1)), src,
+			measure.TracerouteResult{}, int64(i))
+	}
+	if c.size() > 8 {
+		t.Fatalf("size %d > configured cap 8", c.size())
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"revtr/internal/alias"
 	"revtr/internal/atlas"
 	"revtr/internal/ingress"
@@ -95,7 +97,8 @@ type Engine struct {
 	// diagnostics only).
 	Debugf func(format string, args ...any)
 
-	cache *cache
+	cache   *cache
+	metrics *Metrics
 }
 
 // NewEngine assembles an engine. adj may be nil (no Timestamp
@@ -111,17 +114,25 @@ func NewEngine(f *fabric.Fabric, p *measure.Prober, ing *ingress.Service, sites 
 	return &Engine{
 		F: f, P: p, Ingress: ing, Sites: sites,
 		Alias: res, Mapper: mapper, Adj: adj, Opts: opts,
-		cache: newCache(opts.CacheTTLUS),
+		cache: newCache(opts.CacheTTLUS, opts.CacheMaxEntries),
 	}
 }
 
 // FlushCache drops cached measurements (e.g. between experiment phases).
 func (e *Engine) FlushCache() { e.cache.Flush() }
 
+// SetMetrics attaches an observability metric set (nil detaches). The
+// engine and its cache record into it from then on.
+func (e *Engine) SetMetrics(m *Metrics) {
+	e.metrics = m
+	e.cache.metrics = m
+}
+
 // MeasureReverse measures the reverse path from dst back to src,
 // implementing the Fig 2 control flow.
 func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 	before := e.P.Count
+	wallStart := time.Now()
 	res := &Result{
 		Src:  src.Agent.Addr,
 		Dst:  dst,
@@ -130,6 +141,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 	defer func() {
 		res.Probes = e.P.Count.Sub(before)
 		e.flagSuspects(res)
+		e.metrics.outcome(res, time.Since(wallStart).Microseconds(), e.cache.size())
 	}()
 
 	cur := dst
@@ -149,6 +161,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 
 		// Step 1: does the current hop intersect a traceroute to S?
 		if x, ok := e.atlasLookup(src, cur, excludeAS); ok {
+			e.metrics.stage(TechTrIntersect)
 			x.Entry.Useful = true
 			res.AtlasUses = append(res.AtlasUses, AtlasUse{Entry: x.Entry, Pos: x.Pos})
 			for _, h := range x.Suffix {
@@ -163,6 +176,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 		res.DurationUS += rev.elapsedUS
 		res.SpoofBatches += rev.batches
 		if len(rev.hops) > 0 {
+			e.metrics.stage(rev.tech)
 			dbrSuspect := false
 			if e.Opts.DetectDBRViolations {
 				dbrSuspect = e.checkDBR(src, cur, rev.hops[0])
@@ -188,6 +202,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 			if next, rtt := e.tryTimestamp(src, cur); !next.IsZero() {
 				res.DurationUS += rtt
 				if !visited[next] {
+					e.metrics.stage(TechTS)
 					visited[next] = true
 					res.Hops = append(res.Hops, Hop{Addr: next, Tech: TechTS})
 					cur = next
@@ -218,6 +233,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 			if !intra {
 				res.InterdomainAssumed++
 			}
+			e.metrics.symmetry(!intra)
 			e.finish(res, src)
 			return res
 		}
@@ -244,6 +260,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 		if !intra {
 			res.InterdomainAssumed++
 		}
+		e.metrics.symmetry(!intra)
 		if visited[penult] {
 			if e.Debugf != nil {
 				e.Debugf("fail: penultimate %s already visited (cur=%s)", penult, cur)

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"revtr/internal/obs"
+)
+
+// Metrics is the engine's observability surface: per-stage outcome
+// counters matching the Fig 2 control flow, cache accounting, and the
+// latency histograms the §5.2.4 throughput analysis is built from. All
+// methods are safe on a nil *Metrics (no-ops), so instrumented engine code
+// runs unchanged whether or not a registry was attached. Engines built
+// from the same obs.Registry share the underlying metrics (counters are
+// atomic), which is how campaign workers aggregate into one set of
+// numbers.
+type Metrics struct {
+	// Stage counters: how each adopted reverse hop (or terminal decision)
+	// was produced.
+	StageAtlas    *obs.Counter // atlas traceroute intersections (Q1/Q2)
+	StageDirectRR *obs.Counter // direct Record Route revelations
+	StageSpoofRR  *obs.Counter // spoofed Record Route revelations
+	StageTS       *obs.Counter // Timestamp adjacency confirmations
+	StageSym      *obs.Counter // symmetry assumptions taken
+	SymInterAS    *obs.Counter // ...of which interdomain (SymAlways only)
+
+	// Outcome counters.
+	Complete *obs.Counter
+	Aborted  *obs.Counter
+	Failed   *obs.Counter
+
+	// SpoofBatches counts spoofed-RR batches issued (each costs a
+	// 10 s timeout in virtual time, §5.2.4).
+	SpoofBatches *obs.Counter
+
+	// Cache accounting (Insight 1.4 reuse).
+	CacheHitRR     *obs.Counter
+	CacheMissRR    *obs.Counter
+	CacheHitTR     *obs.Counter
+	CacheMissTR    *obs.Counter
+	CacheEvictions *obs.Counter
+	CacheSize      *obs.Gauge
+
+	// VirtualUS observes per-measurement virtual duration (spoof
+	// timeouts included); WallUS observes real wall-clock time spent in
+	// MeasureReverse.
+	VirtualUS *obs.Histogram
+	WallUS    *obs.Histogram
+}
+
+// NewMetrics registers (or re-attaches to) the engine metric set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		StageAtlas:    reg.Counter("engine_stage_atlas_intersect_total"),
+		StageDirectRR: reg.Counter("engine_stage_direct_rr_total"),
+		StageSpoofRR:  reg.Counter("engine_stage_spoofed_rr_total"),
+		StageTS:       reg.Counter("engine_stage_timestamp_total"),
+		StageSym:      reg.Counter("engine_stage_symmetry_total"),
+		SymInterAS:    reg.Counter("engine_symmetry_interdomain_total"),
+
+		Complete: reg.Counter("engine_measure_complete_total"),
+		Aborted:  reg.Counter("engine_measure_aborted_total"),
+		Failed:   reg.Counter("engine_measure_failed_total"),
+
+		SpoofBatches: reg.Counter("engine_spoof_batches_total"),
+
+		CacheHitRR:     reg.Counter("engine_cache_rr_hits_total"),
+		CacheMissRR:    reg.Counter("engine_cache_rr_misses_total"),
+		CacheHitTR:     reg.Counter("engine_cache_tr_hits_total"),
+		CacheMissTR:    reg.Counter("engine_cache_tr_misses_total"),
+		CacheEvictions: reg.Counter("engine_cache_evictions_total"),
+		CacheSize:      reg.Gauge("engine_cache_entries"),
+
+		VirtualUS: reg.Histogram("engine_measure_virtual_us", nil),
+		WallUS:    reg.Histogram("engine_measure_wall_us", nil),
+	}
+}
+
+// stage records how a hop (or batch of hops) was revealed.
+func (m *Metrics) stage(t Technique) {
+	if m == nil {
+		return
+	}
+	switch t {
+	case TechTrIntersect:
+		m.StageAtlas.Inc()
+	case TechRR:
+		m.StageDirectRR.Inc()
+	case TechSpoofRR:
+		m.StageSpoofRR.Inc()
+	case TechTS:
+		m.StageTS.Inc()
+	case TechSymmetry:
+		m.StageSym.Inc()
+	}
+}
+
+// symmetry records one symmetry assumption.
+func (m *Metrics) symmetry(interdomain bool) {
+	if m == nil {
+		return
+	}
+	m.StageSym.Inc()
+	if interdomain {
+		m.SymInterAS.Inc()
+	}
+}
+
+// outcome closes one measurement.
+func (m *Metrics) outcome(res *Result, wallUS int64, cacheEntries int) {
+	if m == nil {
+		return
+	}
+	switch res.Status {
+	case StatusComplete:
+		m.Complete.Inc()
+	case StatusAborted:
+		m.Aborted.Inc()
+	default:
+		m.Failed.Inc()
+	}
+	m.SpoofBatches.Add(uint64(res.SpoofBatches))
+	m.VirtualUS.Observe(res.DurationUS)
+	m.WallUS.Observe(wallUS)
+	m.CacheSize.Set(int64(cacheEntries))
+}
+
+// cacheRR records an RR-cache lookup.
+func (m *Metrics) cacheRR(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.CacheHitRR.Inc()
+	} else {
+		m.CacheMissRR.Inc()
+	}
+}
+
+// cacheTR records a traceroute-cache lookup.
+func (m *Metrics) cacheTR(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.CacheHitTR.Inc()
+	} else {
+		m.CacheMissTR.Inc()
+	}
+}
+
+// evicted records n cache evictions.
+func (m *Metrics) evicted(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.CacheEvictions.Add(uint64(n))
+}

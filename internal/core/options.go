@@ -59,6 +59,11 @@ type Options struct {
 	MaxTSAdjacencies int
 	// CacheTTLUS is the measurement reuse window (one day).
 	CacheTTLUS int64
+	// CacheMaxEntries caps the engine cache (RR + traceroute entries
+	// combined); oldest entries are evicted past the cap. 0 uses a
+	// default of 65536. TTL-expired entries are always evicted on lookup
+	// and by a periodic sweep regardless of this cap.
+	CacheMaxEntries int
 	// AtlasMaxAgeUS rejects atlas entries older than this (0 = no limit).
 	AtlasMaxAgeUS int64
 	// ExcludeAtlasFromDstAS ignores atlas traceroutes measured from

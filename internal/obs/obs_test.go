@@ -1,0 +1,118 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"revtr/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := obs.New()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("requests_total") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("inflight")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *obs.Registry
+	// All of these must be no-ops, not panics.
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(10)
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Fatal("nil registry metrics must read zero")
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := obs.New()
+	h := r.Histogram("latency_us", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 5065 {
+		t.Fatalf("sum = %d, want 5065", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`latency_us_bucket{le="10"} 2`,   // 5, 10 (inclusive upper bound)
+		`latency_us_bucket{le="100"} 3`,  // +50, cumulative
+		`latency_us_bucket{le="1000"} 3`, // cumulative
+		`latency_us_bucket{le="+Inf"} 4`, // +5000
+		`latency_us_sum 5065`,
+		`latency_us_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := obs.Label("user_inflight", "user", "alice"); got != `user_inflight{user="alice"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := obs.Label("plain"); got != "plain" {
+		t.Fatalf("Label no kv = %q", got)
+	}
+	// Labelled histogram names get le spliced inside the braces.
+	r := obs.New()
+	r.Histogram(obs.Label("lat", "route", "/x"), []int64{1}).Observe(1)
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	if !strings.Contains(b.String(), `lat_bucket{route="/x",le="1"} 1`) {
+		t.Fatalf("labelled histogram output wrong:\n%s", b.String())
+	}
+}
+
+// TestConcurrentUse exercises the lock-free paths under -race.
+func TestConcurrentUse(t *testing.T) {
+	r := obs.New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", nil).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+}

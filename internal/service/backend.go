@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sync"
 
 	"revtr"
 	"revtr/internal/core"
@@ -12,9 +13,15 @@ import (
 // DeploymentBackend fronts a simulated deployment: sources are hosts of
 // the simulated Internet, bootstrap checks RR reachability end to end,
 // and measurements run on the deployment's revtr 2.0 engine.
+//
+// The engine, its cache, and the shared prober are single-writer, so the
+// backend serializes all operations that touch them with mu. The service
+// layer above allows concurrent HTTP measurements; they queue here.
 type DeploymentBackend struct {
 	D      *revtr.Deployment
 	Engine *core.Engine
+
+	mu sync.Mutex
 }
 
 // NewDeploymentBackend wires a deployment with a revtr 2.0 engine.
@@ -27,6 +34,8 @@ func NewDeploymentBackend(d *revtr.Deployment) *DeploymentBackend {
 // (checked with a probe from a vantage point); then its traceroute atlas
 // and RR-alias measurements are built.
 func (b *DeploymentBackend) RegisterSource(addr ipv4.Addr) (core.Source, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	h, ok := b.D.Topo.HostOf(addr)
 	if !ok {
 		return core.Source{}, fmt.Errorf("no host at %s", addr)
@@ -52,10 +61,14 @@ func (b *DeploymentBackend) RegisterSource(addr ipv4.Addr) (core.Source, error) 
 
 // Measure implements Backend.
 func (b *DeploymentBackend) Measure(src core.Source, dst ipv4.Addr) *core.Result {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.Engine.MeasureReverse(src, dst)
 }
 
 // RefreshAtlas implements Backend with the deployment's atlas service.
 func (b *DeploymentBackend) RefreshAtlas(src core.Source) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.D.AtlasSvc.Refresh(src.Atlas)
 }

@@ -3,10 +3,14 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
 )
 
 // API is the HTTP front end (the REST flavour of the Appendix A APIs).
@@ -17,7 +21,9 @@ import (
 //	POST /api/v1/revtr            run reverse traceroutes        (X-API-Key)
 //	GET  /api/v1/revtr/{id}       fetch a stored measurement
 //	GET  /api/v1/stats            service statistics
-//	GET  /api/v1/health           liveness
+//	GET  /api/v1/health           liveness (JSON)
+//	GET  /healthz                 liveness (plain text, for probes)
+//	GET  /metrics                 observability registry, text format
 type API struct {
 	reg *Registry
 	mux *http.ServeMux
@@ -36,11 +42,50 @@ func NewAPI(reg *Registry) *API {
 	a.mux.HandleFunc("GET /api/v1/health", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	a.mux.HandleFunc("GET /healthz", a.handleHealthz)
+	a.mux.HandleFunc("GET /metrics", a.handleMetrics)
 	return a
 }
 
-// ServeHTTP implements http.Handler.
-func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, recording request count, latency,
+// and response-class counters for every route.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	o := a.reg.Obs()
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	a.mux.ServeHTTP(sw, r)
+	o.Counter("http_requests_total").Inc()
+	o.Counter(obs.Label("http_responses_total", "class",
+		fmt.Sprintf("%dxx", sw.code/100))).Inc()
+	o.Histogram("http_request_duration_us", nil).Observe(time.Since(start).Microseconds())
+}
+
+// statusWriter captures the response status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleHealthz is the plain-text liveness probe for load balancers and
+// orchestration: cheap, no JSON, no auth.
+func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleMetrics renders the full observability registry (service,
+// engine, and anything else attached to it) in text format.
+func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = a.reg.Obs().WriteText(w)
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"revtr/internal/core"
 	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
 )
 
 // User is a registered API user with the two rate-limit parameters the
@@ -93,22 +95,38 @@ type Registry struct {
 	store       []*Measurement
 	adminKey    string
 	ndtInFlight int
+	obs         *obs.Registry
 }
 
 type registeredSource struct {
 	info SourceInfo
 	src  core.Source
+	// atlasMu serializes atlas refresh (DailyMaintenance) against
+	// in-flight measurements, which read the same core.Source atlas:
+	// measurements hold it shared, refresh holds it exclusive.
+	atlasMu sync.RWMutex
 }
 
 // NewRegistry creates the service state. adminKey authorizes user
-// management.
+// management. Every registry carries an obs.Registry; attach engine or
+// campaign metrics to Obs() to surface them on GET /metrics.
 func NewRegistry(backend Backend, adminKey string) *Registry {
 	return &Registry{
 		backend:  backend,
 		users:    make(map[string]*User),
 		sources:  make(map[ipv4.Addr]*registeredSource),
 		adminKey: adminKey,
+		obs:      obs.New(),
 	}
+}
+
+// Obs exposes the service's metric registry (rendered by GET /metrics).
+func (r *Registry) Obs() *obs.Registry { return r.obs }
+
+// userGauges publishes a user's live quota consumption. Callers hold r.mu.
+func (r *Registry) userGauges(u *User) {
+	r.obs.Gauge(obs.Label("service_user_inflight", "user", u.Name)).Set(int64(u.inFlight))
+	r.obs.Gauge(obs.Label("service_user_used_today", "user", u.Name)).Set(int64(u.usedToday))
 }
 
 // newKey mints a random API key.
@@ -135,6 +153,7 @@ func (r *Registry) AddUser(adminKey, name string, maxParallel, maxPerDay int) (*
 	u := &User{Name: name, APIKey: newKey(), MaxParallel: maxParallel, MaxPerDay: maxPerDay}
 	r.mu.Lock()
 	r.users[u.APIKey] = u
+	r.userGauges(u)
 	r.mu.Unlock()
 	return u, nil
 }
@@ -193,7 +212,10 @@ func (r *Registry) Sources() []SourceInfo {
 }
 
 // Measure runs a reverse traceroute from dst to the registered source,
-// enforcing the user's quotas, and archives the result.
+// enforcing the user's quotas, and archives the result. A panicking
+// backend is surfaced as a measurement with status "failed" — and,
+// critically, releases the user's MaxParallel slot (the slot decrement
+// runs under defer, so no code path can leak it).
 func (r *Registry) Measure(key string, srcAddr, dstAddr ipv4.Addr) (*Measurement, error) {
 	u, err := r.Authenticate(key)
 	if err != nil {
@@ -207,34 +229,65 @@ func (r *Registry) Measure(key string, srcAddr, dstAddr ipv4.Addr) (*Measurement
 	}
 	if u.usedToday >= u.MaxPerDay || u.inFlight >= u.MaxParallel {
 		r.mu.Unlock()
+		r.obs.Counter("service_measure_rate_limited_total").Inc()
 		return nil, ErrRateLimited
 	}
 	u.usedToday++
 	u.inFlight++
+	r.userGauges(u)
 	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		u.inFlight--
+		r.userGauges(u)
+		r.mu.Unlock()
+	}()
 
-	res := r.backend.Measure(reg.src, dstAddr)
+	start := time.Now()
+	res := r.safeMeasure(reg, dstAddr)
+	r.obs.Histogram("service_measure_wall_us", nil).Observe(time.Since(start).Microseconds())
+	r.obs.Counter("service_measure_total").Inc()
 
 	r.mu.Lock()
-	u.inFlight--
+	defer r.mu.Unlock()
 	m := &Measurement{
-		ID:         len(r.store),
-		Src:        srcAddr.String(),
-		Dst:        dstAddr.String(),
-		Status:     res.Status.String(),
-		DurationUS: res.DurationUS,
-		Probes:     res.Probes.Total(),
+		ID:  len(r.store),
+		Src: srcAddr.String(),
+		Dst: dstAddr.String(),
 	}
-	for _, h := range res.Hops {
-		m.Hops = append(m.Hops, MeasuredHop{
-			Addr:      h.Addr.String(),
-			Technique: h.Tech.String(),
-			Suspect:   h.SuspectBefore,
-		})
+	if res == nil { // backend panicked
+		m.Status = "failed"
+	} else {
+		m.Status = res.Status.String()
+		m.DurationUS = res.DurationUS
+		m.Probes = res.Probes.Total()
+		for _, h := range res.Hops {
+			m.Hops = append(m.Hops, MeasuredHop{
+				Addr:      h.Addr.String(),
+				Technique: h.Tech.String(),
+				Suspect:   h.SuspectBefore,
+			})
+		}
 	}
+	r.obs.Counter(obs.Label("service_measure_status_total", "status", m.Status)).Inc()
 	r.store = append(r.store, m)
-	r.mu.Unlock()
 	return m, nil
+}
+
+// safeMeasure runs one backend measurement holding the source's atlas
+// lock shared (so DailyMaintenance cannot swap entries mid-measurement)
+// and converts a backend panic into a nil result instead of letting it
+// unwind through the service.
+func (r *Registry) safeMeasure(reg *registeredSource, dst ipv4.Addr) (res *core.Result) {
+	reg.atlasMu.RLock()
+	defer reg.atlasMu.RUnlock()
+	defer func() {
+		if v := recover(); v != nil {
+			r.obs.Counter("service_backend_panics_total").Inc()
+			res = nil
+		}
+	}()
+	return r.backend.Measure(reg.src, dst)
 }
 
 // Get retrieves a stored measurement by ID.
@@ -254,6 +307,7 @@ func (r *Registry) ResetDay() {
 	defer r.mu.Unlock()
 	for _, u := range r.users {
 		u.usedToday = 0
+		r.userGauges(u)
 	}
 }
 
@@ -272,11 +326,18 @@ func (r *Registry) DailyMaintenance() map[string]int {
 
 	out := make(map[string]int, len(srcs))
 	for _, reg := range srcs {
+		// Exclusive per-source lock: no measurement may read this atlas
+		// while the refresh replaces its entries.
+		reg.atlasMu.Lock()
 		r.backend.RefreshAtlas(reg.src)
+		size := reg.src.Atlas.Size()
+		reg.atlasMu.Unlock()
+
 		r.mu.Lock()
-		reg.info.AtlasSize = reg.src.Atlas.Size()
-		out[reg.info.Addr] = reg.info.AtlasSize
+		reg.info.AtlasSize = size
+		out[reg.info.Addr] = size
 		r.mu.Unlock()
+		r.obs.Counter("service_atlas_refresh_total").Inc()
 	}
 	r.ResetDay()
 	return out
@@ -291,6 +352,8 @@ func (r *Registry) UsefulEntries(addr ipv4.Addr) (useful, total int, ok bool) {
 	if !found {
 		return 0, 0, false
 	}
+	reg.atlasMu.RLock()
+	defer reg.atlasMu.RUnlock()
 	for _, e := range reg.src.Atlas.Entries {
 		if e.Useful {
 			useful++
@@ -314,32 +377,44 @@ func (r *Registry) NDT(serverAddr, clientAddr ipv4.Addr) (*Measurement, error) {
 	}
 	if r.ndtInFlight >= maxNDTInFlight {
 		r.mu.Unlock()
+		r.obs.Counter("service_ndt_shed_total").Inc()
 		return nil, nil // load shedding
 	}
 	r.ndtInFlight++
+	r.obs.Gauge("service_ndt_inflight").Set(int64(r.ndtInFlight))
 	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.ndtInFlight--
+		r.obs.Gauge("service_ndt_inflight").Set(int64(r.ndtInFlight))
+		r.mu.Unlock()
+	}()
 
-	res := r.backend.Measure(reg.src, clientAddr)
+	res := r.safeMeasure(reg, clientAddr)
+	r.obs.Counter("service_ndt_total").Inc()
 
 	r.mu.Lock()
-	r.ndtInFlight--
+	defer r.mu.Unlock()
 	m := &Measurement{
-		ID:         len(r.store),
-		Src:        serverAddr.String(),
-		Dst:        clientAddr.String(),
-		Status:     res.Status.String(),
-		DurationUS: res.DurationUS,
-		Probes:     res.Probes.Total(),
+		ID:  len(r.store),
+		Src: serverAddr.String(),
+		Dst: clientAddr.String(),
 	}
-	for _, h := range res.Hops {
-		m.Hops = append(m.Hops, MeasuredHop{
-			Addr:      h.Addr.String(),
-			Technique: h.Tech.String(),
-			Suspect:   h.SuspectBefore,
-		})
+	if res == nil { // backend panicked
+		m.Status = "failed"
+	} else {
+		m.Status = res.Status.String()
+		m.DurationUS = res.DurationUS
+		m.Probes = res.Probes.Total()
+		for _, h := range res.Hops {
+			m.Hops = append(m.Hops, MeasuredHop{
+				Addr:      h.Addr.String(),
+				Technique: h.Tech.String(),
+				Suspect:   h.SuspectBefore,
+			})
+		}
 	}
 	r.store = append(r.store, m)
-	r.mu.Unlock()
 	return m, nil
 }
 
