@@ -21,7 +21,9 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet race
+ci: vet race bench
 
+# bench in CI runs every benchmark once (-benchtime 1x): a smoke test
+# that the benchmarks still compile and run, not a performance gate.
 bench:
-	$(GO) test -bench=MeasureReverse -benchmem
+	$(GO) test -bench . -benchtime 1x -benchmem ./...

@@ -13,6 +13,10 @@ package revtr_test
 // (measurement, routing, forwarding) follow at the bottom.
 
 import (
+	"sync/atomic"
+
+	"context"
+
 	"io"
 	"testing"
 	"time"
@@ -98,8 +102,28 @@ func BenchmarkMeasureReverse20(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dst := dests[i%len(dests)]
-		eng.MeasureReverse(src, dst.Addr)
+		eng.MeasureReverse(context.Background(), src, dst.Addr)
 	}
+}
+
+// BenchmarkMeasureReverseParallel shares one engine (and the
+// deployment's probe pool) across GOMAXPROCS goroutines — the service
+// and campaign usage the concurrent probe layer enables. The seed
+// engine was single-writer and could not run this benchmark at all.
+func BenchmarkMeasureReverseParallel(b *testing.B) {
+	d := benchDeployment(b)
+	src := d.NewSource(d.PickSourceHost(0))
+	eng := d.Engine(core.Revtr20Options())
+	dests := d.OnePerPrefix()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			dst := dests[int(next.Add(1))%len(dests)]
+			eng.MeasureReverse(context.Background(), src, dst.Addr)
+		}
+	})
 }
 
 func BenchmarkMeasureReverse10(b *testing.B) {
@@ -111,7 +135,7 @@ func BenchmarkMeasureReverse10(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dst := dests[i%len(dests)]
-		eng.MeasureReverse(src, dst.Addr)
+		eng.MeasureReverse(context.Background(), src, dst.Addr)
 	}
 }
 

@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		sources = flag.Int("sources", 8, "number of sources (vantage point sites)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		pworker = flag.Int("probe-workers", 0, "concurrent probes in the shared probe pool (0 = GOMAXPROCS)")
 		maxDest = flag.Int("dests", 0, "cap destinations (0 = one per routed prefix)")
 		every   = flag.Int("progress-every", 500, "log live progress every N completed tasks (0 = off)")
 		dumpObs = flag.Bool("metrics", false, "print the observability registry (engine stages, cache, latency histograms) after the run")
@@ -68,6 +69,7 @@ func main() {
 	start := time.Now()
 	r := &campaign.Runner{
 		D: d, Sources: srcs, Opts: core.Revtr20Options(), Workers: *workers,
+		ProbeWorkers:  *pworker,
 		Obs:           obsReg,
 		ProgressEvery: *every,
 		OnResult: func(o campaign.Outcome) {

@@ -39,6 +39,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "simulation seed")
 		adminKey     = flag.String("admin-key", "admin", "admin API key for user management")
 		sites        = flag.Int("sites", 30, "vantage point sites")
+		probeWorkers = flag.Int("probe-workers", 0, "concurrent probes in the shared probe pool (0 = GOMAXPROCS)")
+		measureTO    = flag.Duration("measure-timeout", 0, "per-measurement wall-clock cap when a request sets no timeoutMs (0 = none)")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bulk measurements take a while)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
@@ -50,6 +52,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Topology.Seed = *seed
 	cfg.Sites = *sites
+	cfg.ProbeWorkers = *probeWorkers
 	d := revtr.Build(cfg)
 	log.Printf("topology: %s", d.Topo.Stats())
 	log.Printf("background probes consumed: %d", d.BackgroundProbes.Total())
@@ -59,7 +62,11 @@ func main() {
 	// Engine metrics land in the same registry the service renders on
 	// GET /metrics, so per-stage engine accounting is live from request 1.
 	backend.Engine.SetMetrics(core.NewMetrics(reg.Obs()))
+	// Pool metrics (in-flight probes, batch sizes/latencies) land next to
+	// the engine's on GET /metrics.
+	d.Pool.SetObs(reg.Obs())
 	api := service.NewAPI(reg)
+	api.MeasureTimeout = *measureTO
 
 	// Print a few example destination addresses so users can try the API
 	// without reading the topology dump.

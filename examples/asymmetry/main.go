@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -42,7 +44,7 @@ func main() {
 			continue
 		}
 		fwd := dep.Prober.Traceroute(src.Agent, dst.Addr)
-		rev := eng.MeasureReverse(src, dst.Addr)
+		rev := eng.MeasureReverse(context.Background(), src, dst.Addr)
 		if !fwd.ReachedDst || rev.Status != core.StatusComplete {
 			continue
 		}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 
@@ -56,7 +58,7 @@ func main() {
 
 		// NDT speed tests arrive (the M-Lab hook).
 		for i := 0; i < 5; i++ {
-			if m, err := reg.NDT(srcHost.Addr, pick()); err == nil && m != nil {
+			if m, err := reg.NDT(context.Background(), srcHost.Addr, pick()); err == nil && m != nil {
 				ndtRuns++
 				if m.Status == "complete" {
 					complete++
@@ -65,7 +67,7 @@ func main() {
 		}
 		// The user runs an on-demand batch.
 		for i := 0; i < 3; i++ {
-			if m, err := reg.Measure(admin.APIKey, srcHost.Addr, pick()); err == nil {
+			if m, err := reg.Measure(context.Background(), admin.APIKey, srcHost.Addr, pick()); err == nil {
 				userRuns++
 				if m.Status == "complete" {
 					complete++

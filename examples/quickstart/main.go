@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 
 	"revtr"
@@ -40,7 +42,7 @@ func main() {
 		if dst.AS == srcHost.AS {
 			continue
 		}
-		res := eng.MeasureReverse(src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), src, dst.Addr)
 		if res.Status != core.StatusComplete {
 			continue
 		}

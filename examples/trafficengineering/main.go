@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 
 	"revtr"
@@ -87,7 +89,7 @@ func main() {
 		if i >= 120 {
 			break
 		}
-		res := eng.MeasureReverse(src, h.Addr)
+		res := eng.MeasureReverse(context.Background(), src, h.Addr)
 		if res.Status != core.StatusComplete {
 			continue
 		}

@@ -13,6 +13,8 @@
 package atlas
 
 import (
+	"sync/atomic"
+
 	"revtr/internal/alias"
 	"revtr/internal/measure"
 	"revtr/internal/netsim/ipv4"
@@ -26,14 +28,23 @@ type Entry struct {
 	ProbeAS      int32
 	Hops         []ipv4.Addr // responsive traceroute hops, in order toward the source
 	MeasuredAtUS int64
-	// Useful records whether any reverse traceroute intersected this
+	// useful records whether any reverse traceroute intersected this
 	// entry since the last refresh — the Random++ replacement signal
-	// (Appx D.2.1).
-	Useful bool
+	// (Appx D.2.1). Atomic because concurrent measurements mark entries
+	// while the service reads them; use MarkUseful/WasUseful.
+	useful atomic.Bool
 	// Stale is set by the staleness auditor when a fresh re-measurement
 	// disagrees (Fig 9d).
 	Stale bool
 }
+
+// MarkUseful records that a reverse traceroute intersected this entry
+// since the last refresh. Safe for concurrent use.
+func (e *Entry) MarkUseful() { e.useful.Store(true) }
+
+// WasUseful reports whether the entry was intersected since the last
+// refresh.
+func (e *Entry) WasUseful() bool { return e.useful.Load() }
 
 // hopRef locates a hop within the atlas.
 type hopRef struct {
@@ -233,7 +244,7 @@ func (a *Atlas) associate(recorded []ipv4.Addr, e *Entry, probedPos int, res ali
 // ResetUseful clears the per-refresh usefulness marks.
 func (a *Atlas) ResetUseful() {
 	for _, e := range a.Entries {
-		e.Useful = false
+		e.useful.Store(false)
 	}
 }
 

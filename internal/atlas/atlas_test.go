@@ -126,7 +126,7 @@ func TestServiceBuildAndRefresh(t *testing.T) {
 	kept := map[string]bool{}
 	for i, e := range at.Entries {
 		if i < 3 {
-			e.Useful = true
+			e.MarkUseful()
 			kept[e.ProbeName] = true
 		}
 	}
@@ -139,7 +139,7 @@ func TestServiceBuildAndRefresh(t *testing.T) {
 		if kept[e.ProbeName] {
 			found++
 		}
-		if e.Useful {
+		if e.WasUseful() {
 			t.Fatal("useful flags not reset after refresh")
 		}
 	}

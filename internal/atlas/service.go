@@ -87,7 +87,7 @@ func (s *Service) Refresh(a *Atlas) {
 	var keep []*Entry
 	dropped := map[string]bool{}
 	for _, e := range append([]*Entry(nil), a.Entries...) {
-		if e.Useful {
+		if e.WasUseful() {
 			keep = append(keep, e)
 		} else {
 			dropped[e.ProbeName] = true

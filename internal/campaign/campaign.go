@@ -3,15 +3,18 @@
 // destinations to the 146 M-Lab sites in 10 days requires ≈11.7M reverse
 // traceroutes per day") and the scalability story of §5.2.4.
 //
-// Work is sharded by source: each worker owns one or more sources with a
-// private prober and engine (engines cache measurements per source, and
-// atlas usefulness marks are per source), while the simulated data plane
-// and routing tables are shared and concurrency-safe. Throughput therefore
-// scales with workers the way the real system scales with vantage points
-// and parallel request handling.
+// Work is sharded by source: each worker owns one or more sources and an
+// engine per source (engines cache measurements per source, and atlas
+// usefulness marks are per source), while all workers share one
+// probe.Pool over the concurrency-safe data plane. Probe identities are
+// deterministic functions of each measurement's own sequence numbers, so
+// parallel campaigns are bit-identical to serial ones — the regression
+// test in campaign_test.go holds the Summary and every per-task hop list
+// equal across worker counts.
 package campaign
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,6 +24,7 @@ import (
 	"revtr/internal/measure"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/obs"
+	"revtr/internal/probe"
 )
 
 // Task is one reverse traceroute request.
@@ -80,6 +84,11 @@ type Runner struct {
 	// Workers defaults to GOMAXPROCS (capped by the number of sources:
 	// sharding is per source).
 	Workers int
+	// ProbeWorkers bounds the campaign's shared probe pool (0 = the
+	// deployment's own pool with its existing bound). All campaign
+	// workers submit batches to one pool, mirroring how the real system
+	// shares its vantage-point fleet across concurrent measurements.
+	ProbeWorkers int
 	// OnResult, if set, receives every outcome (called concurrently).
 	OnResult func(Outcome)
 	// OnProgress, if set, receives a snapshot every ProgressEvery
@@ -155,6 +164,17 @@ func (r *Runner) Run(tasks []Task) Summary {
 	prog.failed.Add(int64(invalid))
 	prog.invalid.Add(int64(invalid))
 
+	// One probe pool shared by every worker: probing concurrency is a
+	// property of the campaign (how many probes are in flight), separate
+	// from task concurrency (how many measurements run at once).
+	pool := r.D.Pool
+	if r.ProbeWorkers > 0 {
+		pool = probe.New(r.D.Fabric, r.D.Clock, r.ProbeWorkers)
+	}
+	if r.Obs != nil {
+		pool.SetObs(r.Obs)
+	}
+
 	// Campaign metrics and shared engine metrics: counters are atomic,
 	// so every worker engine can record into the same set.
 	var engineMetrics *core.Metrics
@@ -188,17 +208,18 @@ func (r *Runner) Run(tasks []Task) Summary {
 			defer wg.Done()
 			local := Summary{}
 			for si := w; si < len(r.Sources); si += workers {
-				// A fresh prober + engine per source: measurement state
-				// (probe nonces, caches) is single-writer and — because
-				// the fabric is deterministic — per-source results are
-				// identical regardless of how sources map to workers.
-				prober := measure.NewProber(r.D.Fabric)
-				eng := core.NewEngine(r.D.Fabric, prober, r.D.IngressSvc, r.D.SiteAgents,
+				// A fresh engine per source over the shared pool: the
+				// per-source cache stays deterministic (tasks of one
+				// source run in order), probe identities derive from
+				// per-measurement sequence numbers, and the fabric is
+				// deterministic — so per-source results are identical
+				// regardless of how sources map to workers.
+				eng := core.NewEngine(r.D.Fabric, pool, r.D.IngressSvc, r.D.SiteAgents,
 					r.D.Alias, r.D.Mapper, nil, r.Opts)
 				eng.SetMetrics(engineMetrics)
 				src := r.Sources[si]
 				for _, t := range bySource[si] {
-					res := eng.MeasureReverse(src, t.Dst)
+					res := eng.MeasureReverse(context.Background(), src, t.Dst)
 					local.Attempted++
 					switch res.Status {
 					case core.StatusComplete:
@@ -213,6 +234,7 @@ func (r *Runner) Run(tasks []Task) Summary {
 						obsFailed.Inc()
 					}
 					local.VirtualUS += res.DurationUS
+					local.Probes = local.Probes.Add(res.Probes)
 					prog.virtualUS.Add(res.DurationUS)
 					prog.probes.Add(res.Probes.Total())
 					if r.OnResult != nil {
@@ -224,7 +246,6 @@ func (r *Runner) Run(tasks []Task) Summary {
 						r.OnProgress(prog.snapshot())
 					}
 				}
-				local.Probes.Add(prober.Count)
 			}
 			mu.Lock()
 			sum.Attempted += local.Attempted
@@ -232,7 +253,7 @@ func (r *Runner) Run(tasks []Task) Summary {
 			sum.Aborted += local.Aborted
 			sum.Failed += local.Failed
 			sum.VirtualUS += local.VirtualUS
-			sum.Probes.Add(local.Probes)
+			sum.Probes = sum.Probes.Add(local.Probes)
 			mu.Unlock()
 		}(w)
 	}

@@ -1,6 +1,9 @@
 package campaign_test
 
 import (
+	"fmt"
+	"strings"
+
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -56,21 +59,61 @@ func TestCampaignSerial(t *testing.T) {
 	t.Logf("serial: %d/%d complete, %d probes", sum.Complete, sum.Attempted, sum.Probes.Total())
 }
 
-// TestCampaignParallelMatchesSerial: per-source sharding plus a
-// deterministic fabric means parallel campaigns complete the same tasks
-// (counts may differ marginally only via per-packet nonce ordering, which
-// per-worker probers make source-deterministic too).
-func TestCampaignParallelMatchesSerial(t *testing.T) {
-	r1, dsts := testRunner(t, 1)
-	s1 := r1.Run(campaign.AllPairs(len(r1.Sources), dsts))
-	r4, dsts4 := testRunner(t, 4)
-	s4 := r4.Run(campaign.AllPairs(len(r4.Sources), dsts4))
-	if s1.Attempted != s4.Attempted {
-		t.Fatalf("attempted differ: %d vs %d", s1.Attempted, s4.Attempted)
+// taskKey identifies one task across campaign runs.
+type taskKey struct {
+	srcIdx int
+	dst    ipv4.Addr
+}
+
+// renderResult flattens a task result into a comparable string: status
+// plus every hop address and technique, in order.
+func renderResult(res *core.Result) string {
+	var sb strings.Builder
+	sb.WriteString(res.Status.String())
+	for _, h := range res.Hops {
+		fmt.Fprintf(&sb, " %s/%s/%v", h.Addr, h.Tech, h.SuspectBefore)
 	}
-	if s1.Complete != s4.Complete || s1.Aborted != s4.Aborted {
-		t.Fatalf("outcomes differ: serial %d/%d vs parallel %d/%d",
-			s1.Complete, s1.Aborted, s4.Complete, s4.Aborted)
+	return sb.String()
+}
+
+// runCollecting runs a campaign with the given worker counts and returns
+// the summary plus every per-task rendered result.
+func runCollecting(t *testing.T, workers, probeWorkers int) (campaign.Summary, map[taskKey]string) {
+	t.Helper()
+	r, dsts := testRunner(t, workers)
+	r.ProbeWorkers = probeWorkers
+	var mu sync.Mutex
+	got := make(map[taskKey]string)
+	r.OnResult = func(o campaign.Outcome) {
+		mu.Lock()
+		got[taskKey{o.Task.SourceIdx, o.Task.Dst}] = renderResult(o.Result)
+		mu.Unlock()
+	}
+	sum := r.Run(campaign.AllPairs(len(r.Sources), dsts))
+	return sum, got
+}
+
+// TestCampaignParallelMatchesSerial: per-source sharding, deterministic
+// per-measurement probe identities, and a deterministic fabric make
+// parallel campaigns bit-identical to serial ones — the same Summary
+// (including probe counters and virtual time) and the same hops,
+// techniques, and status for every individual task.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	s1, res1 := runCollecting(t, 1, 1)
+	s4, res4 := runCollecting(t, 4, 8)
+	if s1 != s4 {
+		t.Fatalf("summaries differ:\nserial   %+v\nparallel %+v", s1, s4)
+	}
+	if len(res1) != len(res4) {
+		t.Fatalf("result counts differ: %d vs %d", len(res1), len(res4))
+	}
+	for k, want := range res1 {
+		if got, ok := res4[k]; !ok {
+			t.Errorf("task src=%d dst=%s missing from parallel run", k.srcIdx, k.dst)
+		} else if got != want {
+			t.Errorf("task src=%d dst=%s differs:\nserial   %s\nparallel %s",
+				k.srcIdx, k.dst, want, got)
+		}
 	}
 }
 

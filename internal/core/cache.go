@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"revtr/internal/measure"
 	"revtr/internal/netsim/ipv4"
 )
@@ -15,9 +17,10 @@ import (
 // opportunistic sweep every cacheSweepEvery writes drops everything past
 // its TTL, and a hard size cap (Options.CacheMaxEntries across both maps)
 // evicts oldest-first when the sweep alone is not enough. The cache is
-// single-writer (one engine), so no locking; eviction counts flow into the
-// engine's Metrics.
+// internally locked so one engine can serve concurrent measurements;
+// eviction counts flow into the engine's Metrics.
 type cache struct {
+	mu         sync.Mutex
 	ttlUS      int64
 	maxEntries int
 	rr         map[cacheKey]rrEntry
@@ -62,9 +65,15 @@ func newCache(ttlUS int64, maxEntries int) *cache {
 }
 
 // size is the total entry count across both maps.
-func (c *cache) size() int { return len(c.rr) + len(c.tr) }
+func (c *cache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.rr) + len(c.tr)
+}
 
 func (c *cache) getRR(target, src ipv4.Addr, nowUS int64) ([]ipv4.Addr, Technique, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := cacheKey{target, src}
 	e, ok := c.rr[k]
 	if ok && nowUS-e.atUS > c.ttlUS {
@@ -80,11 +89,15 @@ func (c *cache) getRR(target, src ipv4.Addr, nowUS int64) ([]ipv4.Addr, Techniqu
 }
 
 func (c *cache) putRR(target, src ipv4.Addr, hops []ipv4.Addr, tech Technique, nowUS int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.rr[cacheKey{target, src}] = rrEntry{revHops: hops, tech: tech, atUS: nowUS}
 	c.maybeSweep(nowUS)
 }
 
 func (c *cache) getTraceroute(target, src ipv4.Addr, nowUS int64) (measure.TracerouteResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := cacheKey{target, src}
 	e, ok := c.tr[k]
 	if ok && nowUS-e.atUS > c.ttlUS {
@@ -100,15 +113,17 @@ func (c *cache) getTraceroute(target, src ipv4.Addr, nowUS int64) (measure.Trace
 }
 
 func (c *cache) putTraceroute(target, src ipv4.Addr, tr measure.TracerouteResult, nowUS int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.tr[cacheKey{target, src}] = trEntry{tr: tr, atUS: nowUS}
 	c.maybeSweep(nowUS)
 }
 
 // maybeSweep runs the periodic sweep every cacheSweepEvery writes, or
-// immediately when the size cap is exceeded.
+// immediately when the size cap is exceeded. Callers hold c.mu.
 func (c *cache) maybeSweep(nowUS int64) {
 	c.writesSinceSweep++
-	if c.writesSinceSweep < cacheSweepEvery && c.size() <= c.maxEntries {
+	if c.writesSinceSweep < cacheSweepEvery && len(c.rr)+len(c.tr) <= c.maxEntries {
 		return
 	}
 	c.writesSinceSweep = 0
@@ -116,7 +131,7 @@ func (c *cache) maybeSweep(nowUS int64) {
 }
 
 // sweep drops TTL-expired entries, then — if the cache is still over its
-// cap — evicts oldest-first until it fits.
+// cap — evicts oldest-first until it fits. Callers hold c.mu.
 func (c *cache) sweep(nowUS int64) {
 	evicted := 0
 	for k, e := range c.rr {
@@ -131,7 +146,7 @@ func (c *cache) sweep(nowUS int64) {
 			evicted++
 		}
 	}
-	for c.size() > c.maxEntries {
+	for len(c.rr)+len(c.tr) > c.maxEntries {
 		evicted += c.evictOldest()
 	}
 	c.metrics.evicted(evicted)
@@ -169,6 +184,8 @@ func (c *cache) evictOldest() int {
 
 // Flush drops everything (used between experiment phases).
 func (c *cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.rr = make(map[cacheKey]rrEntry)
 	c.tr = make(map[cacheKey]trEntry)
 	c.writesSinceSweep = 0

@@ -69,7 +69,7 @@ func TestCacheSweepDropsExpired(t *testing.T) {
 // oldest-first so the maps stay bounded even within one TTL window.
 func TestCacheSizeCap(t *testing.T) {
 	const maxN = 32
-	c := newCache(1 << 60, maxN) // nothing ever expires
+	c := newCache(1<<60, maxN) // nothing ever expires
 	src := addr(t, "10.0.0.1")
 	for i := 0; i < 4*maxN; i++ {
 		c.putRR(addr(t, fmt.Sprintf("10.2.%d.%d", i/200, i%200+1)), src, nil, TechRR, int64(i))

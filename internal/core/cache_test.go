@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"revtr/internal/core"
@@ -14,11 +16,11 @@ func TestCacheTTLExpiry(t *testing.T) {
 	h, eng := newHarness(t, &opts)
 
 	var dstAddr = h.env.ResponsiveHost(2, h.src.Agent.AS).Addr
-	r1 := eng.MeasureReverse(h.src, dstAddr)
+	r1 := eng.MeasureReverse(context.Background(), h.src, dstAddr)
 	p1 := r1.Probes.RR + r1.Probes.SpoofRR
 
 	// Within the TTL: RR results come from cache.
-	r2 := eng.MeasureReverse(h.src, dstAddr)
+	r2 := eng.MeasureReverse(context.Background(), h.src, dstAddr)
 	p2 := r2.Probes.RR + r2.Probes.SpoofRR
 	if p2 > p1 {
 		t.Errorf("cached re-measurement used more RR probes (%d > %d)", p2, p1)
@@ -26,7 +28,7 @@ func TestCacheTTLExpiry(t *testing.T) {
 
 	// Past the TTL: the engine must probe again.
 	h.env.Prober.Advance(2_000_000)
-	r3 := eng.MeasureReverse(h.src, dstAddr)
+	r3 := eng.MeasureReverse(context.Background(), h.src, dstAddr)
 	p3 := r3.Probes.RR + r3.Probes.SpoofRR
 	if r1.Status == core.StatusComplete && p1 > 0 && p3 == 0 {
 		t.Error("expired cache still served RR results")
@@ -47,7 +49,7 @@ func TestAtlasMaxAge(t *testing.T) {
 		if dst == nil {
 			break
 		}
-		res := eng.MeasureReverse(h.src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), h.src, dst.Addr)
 		usedAtlas := false
 		for _, hop := range res.Hops {
 			if hop.Tech == core.TechTrIntersect {
@@ -60,7 +62,7 @@ func TestAtlasMaxAge(t *testing.T) {
 		// Age the world past the limit: the same measurement must no
 		// longer intersect (entries were measured at time 0).
 		h.env.Prober.Advance(5_000_000)
-		res2 := eng.MeasureReverse(h.src, dst.Addr)
+		res2 := eng.MeasureReverse(context.Background(), h.src, dst.Addr)
 		for _, hop := range res2.Hops {
 			if hop.Tech == core.TechTrIntersect {
 				t.Fatal("stale atlas entry used despite AtlasMaxAgeUS")
@@ -82,7 +84,7 @@ func TestSuspectFlagConsistency(t *testing.T) {
 		if dst == nil {
 			break
 		}
-		res := eng.MeasureReverse(h.src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), h.src, dst.Addr)
 		prevAS := -1
 		for _, hop := range res.Hops {
 			asn, ok := eng.Mapper.ASOf(hop.Addr)

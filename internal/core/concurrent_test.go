@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"revtr/internal/core"
+	"revtr/internal/netsim/ipv4"
+)
+
+// TestMeasureReverseConcurrent exercises one engine (and its shared probe
+// pool, cache, and atlas) from many goroutines — the service-layer usage.
+// Run under -race (make ci does) it is the concurrency-safety regression
+// test; it also checks the results agree with a serial pass over the same
+// destinations on a cache-less engine, since with caching disabled each
+// measurement is independent of interleaving.
+func TestMeasureReverseConcurrent(t *testing.T) {
+	opts := core.Revtr20Options()
+	opts.UseCache = false
+	h, eng := newHarness(t, &opts)
+
+	var dsts []ipv4.Addr
+	for i := 0; len(dsts) < 24; i++ {
+		dst := h.env.ResponsiveHost(i*2, h.src.Agent.AS)
+		if dst == nil {
+			break
+		}
+		dsts = append(dsts, dst.Addr)
+	}
+	if len(dsts) < 4 {
+		t.Skip("not enough destinations")
+	}
+
+	serial := make(map[ipv4.Addr]string, len(dsts))
+	for _, d := range dsts {
+		serial[d] = renderResult(eng.MeasureReverse(context.Background(), h.src, d))
+	}
+
+	var wg sync.WaitGroup
+	concurrent := make([]string, len(dsts))
+	for i, d := range dsts {
+		wg.Add(1)
+		go func(i int, d ipv4.Addr) {
+			defer wg.Done()
+			concurrent[i] = renderResult(eng.MeasureReverse(context.Background(), h.src, d))
+		}(i, d)
+	}
+	wg.Wait()
+
+	for i, d := range dsts {
+		if concurrent[i] != serial[d] {
+			t.Errorf("dst %s: concurrent result diverged\nserial     %s\nconcurrent %s",
+				d, serial[d], concurrent[i])
+		}
+	}
+}
+
+// renderResult flattens a result for comparison across runs.
+func renderResult(res *core.Result) string {
+	s := res.Status.String()
+	for _, hop := range res.Hops {
+		s += " " + hop.Addr.String() + "/" + hop.Tech.String()
+	}
+	return s
+}
+
+// TestMeasureReverseCancelled: an already-cancelled context fails the
+// measurement immediately without issuing probes.
+func TestMeasureReverseCancelled(t *testing.T) {
+	h, eng := newHarness(t, nil)
+	dst := h.env.ResponsiveHost(0, h.src.Agent.AS)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := eng.MeasureReverse(ctx, h.src, dst.Addr)
+	if res.Status != core.StatusFailed {
+		t.Fatalf("status = %v, want failed", res.Status)
+	}
+	if res.Probes.Total() != 0 {
+		t.Fatalf("cancelled measurement issued %d probes", res.Probes.Total())
+	}
+}
+
+// TestMeasureReverseDeadline: a context whose deadline expires mid-
+// measurement makes the engine stop between stages rather than run the
+// Fig 2 loop to completion; the result is marked failed.
+func TestMeasureReverseDeadline(t *testing.T) {
+	h, eng := newHarness(t, nil)
+	dst := h.env.ResponsiveHost(4, h.src.Agent.AS)
+
+	// Reference run without a deadline.
+	full := eng.MeasureReverse(context.Background(), h.src, dst.Addr)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cut := eng.MeasureReverse(ctx, h.src, dst.Addr)
+	if cut.Status != core.StatusFailed {
+		t.Fatalf("status = %v, want failed", cut.Status)
+	}
+	if full.Status == core.StatusComplete && len(cut.Hops) >= len(full.Hops) && full.Probes.Total() > 0 {
+		if cut.Probes.Total() >= full.Probes.Total() {
+			t.Fatalf("cancelled run did as much work as the full one: %d vs %d probes",
+				cut.Probes.Total(), full.Probes.Total())
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"revtr/internal/atlas"
@@ -60,7 +62,7 @@ func newHarness(t testing.TB, opts *core.Options) (*harness, *core.Engine) {
 	if opts != nil {
 		o = *opts
 	}
-	eng := core.NewEngine(env.Fabric, env.Prober, ing, env.Sites, env.Alias,
+	eng := core.NewEngine(env.Fabric, env.Pool, ing, env.Sites, env.Alias,
 		ip2as.Origin{Topo: env.Topo}, nil, o)
 	return &harness{env: env, ing: ing, src: src}, eng
 }
@@ -74,7 +76,7 @@ func TestEngineCompletesSomePaths(t *testing.T) {
 			break
 		}
 		tried++
-		res := eng.MeasureReverse(h.src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), h.src, dst.Addr)
 		if res.Status == core.StatusComplete {
 			done++
 			if res.Hops[0].Addr != dst.Addr {
@@ -105,7 +107,7 @@ func TestEngineUnresponsiveDestinationFails(t *testing.T) {
 	if dead.IsZero() {
 		t.Skip("no unresponsive host")
 	}
-	res := eng.MeasureReverse(h.src, dead)
+	res := eng.MeasureReverse(context.Background(), h.src, dead)
 	if res.Status == core.StatusComplete {
 		// A complete path to an unresponsive destination is only
 		// possible via an atlas intersection at the destination itself.
@@ -124,7 +126,7 @@ func TestEngineSymNeverNeverAssumes(t *testing.T) {
 		if dst == nil {
 			break
 		}
-		res := eng.MeasureReverse(h.src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), h.src, dst.Addr)
 		if res.SymAssumed > 0 {
 			t.Fatal("SymNever made an assumption")
 		}
@@ -144,7 +146,7 @@ func TestEngineTechniquesAreLabelled(t *testing.T) {
 		if dst == nil {
 			break
 		}
-		res := eng.MeasureReverse(h.src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), h.src, dst.Addr)
 		for _, hop := range res.Hops {
 			techs[hop.Tech]++
 		}

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"revtr/internal/atlas"
@@ -53,7 +55,7 @@ func dbrHarness(t *testing.T, violatorP float64, opts core.Options) (*simtest.En
 	srcAgent := env.Agent(env.SourceHost(0))
 	svc := atlas.NewService(env.Prober, env.Probes, atlas.FixedSites(env.Sites), env.Alias, 25, true, 23)
 	src := core.Source{Agent: srcAgent, Atlas: svc.BuildFor(srcAgent)}
-	eng := core.NewEngine(env.Fabric, env.Prober, ing, env.Sites, env.Alias,
+	eng := core.NewEngine(env.Fabric, env.Pool, ing, env.Sites, env.Alias,
 		ip2as.Origin{Topo: env.Topo}, nil, opts)
 	return env, eng, src
 }
@@ -64,7 +66,7 @@ func countDBRSuspects(env *simtest.Env, eng *core.Engine, src core.Source, n int
 		if dst == nil {
 			break
 		}
-		res := eng.MeasureReverse(src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), src, dst.Addr)
 		for _, h := range res.Hops {
 			hops++
 			if h.DBRSuspect {
@@ -134,7 +136,7 @@ func dbrHarnessClean(t *testing.T, opts core.Options) (*simtest.Env, *core.Engin
 	srcAgent := env.Agent(env.SourceHost(0))
 	svc := atlas.NewService(env.Prober, env.Probes, atlas.FixedSites(env.Sites), env.Alias, 25, true, 23)
 	src := core.Source{Agent: srcAgent, Atlas: svc.BuildFor(srcAgent)}
-	eng := core.NewEngine(env.Fabric, env.Prober, ing, env.Sites, env.Alias,
+	eng := core.NewEngine(env.Fabric, env.Pool, ing, env.Sites, env.Alias,
 		ip2as.Origin{Topo: env.Topo}, nil, opts)
 	return env, eng, src
 }
@@ -153,17 +155,17 @@ func TestDBRDetectionCostsProbes(t *testing.T) {
 		if dst == nil {
 			break
 		}
-		res := eng.MeasureReverse(src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), src, dst.Addr)
 		plain += res.Probes.RR + res.Probes.SpoofRR
 	}
-	engD := core.NewEngine(env.Fabric, env.Prober, eng.Ingress, env.Sites, env.Alias,
+	engD := core.NewEngine(env.Fabric, env.Pool, eng.Ingress, env.Sites, env.Alias,
 		ip2as.Origin{Topo: env.Topo}, nil, withDet)
 	for i := 0; i < 20; i++ {
 		dst := env.ResponsiveHost(i, src.Agent.AS)
 		if dst == nil {
 			break
 		}
-		res := engD.MeasureReverse(src, dst.Addr)
+		res := engD.MeasureReverse(context.Background(), src, dst.Addr)
 		detect += res.Probes.RR + res.Probes.SpoofRR
 	}
 	t.Logf("RR probes: plain=%d detect=%d", plain, detect)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"log/slog"
 	"time"
 
 	"revtr/internal/alias"
@@ -10,6 +12,7 @@ import (
 	"revtr/internal/measure"
 	"revtr/internal/netsim/fabric"
 	"revtr/internal/netsim/ipv4"
+	"revtr/internal/probe"
 )
 
 // Source is a Reverse Traceroute source: an endpoint the user controls,
@@ -82,10 +85,15 @@ func (r *Result) HasSuspect() bool {
 	return false
 }
 
-// Engine measures reverse paths.
+// Engine measures reverse paths. One engine serves one source's
+// measurements and is safe for concurrent use: probes run through the
+// shared probe.Pool, the cache is internally locked, and atlas
+// usefulness marks are atomic. Each MeasureReverse call keeps its own
+// probe accounting, so concurrent measurements do not blur each other's
+// budgets.
 type Engine struct {
 	F       *fabric.Fabric
-	P       *measure.Prober
+	Pool    *probe.Pool
 	Ingress *ingress.Service
 	Sites   []measure.Agent
 	Alias   alias.Resolver
@@ -93,17 +101,18 @@ type Engine struct {
 	Adj     AdjacencyProvider
 	Opts    Options
 
-	// Debugf, when set, receives a line per engine decision (tests and
-	// diagnostics only).
+	// Debugf, when set, receives a line per engine decision — the legacy
+	// printf hook, kept as a shim over the structured logger below.
 	Debugf func(format string, args ...any)
 
+	logger  *slog.Logger
 	cache   *cache
 	metrics *Metrics
 }
 
-// NewEngine assembles an engine. adj may be nil (no Timestamp
-// adjacencies).
-func NewEngine(f *fabric.Fabric, p *measure.Prober, ing *ingress.Service, sites []measure.Agent,
+// NewEngine assembles an engine over a probe pool. adj may be nil (no
+// Timestamp adjacencies).
+func NewEngine(f *fabric.Fabric, pool *probe.Pool, ing *ingress.Service, sites []measure.Agent,
 	res alias.Resolver, mapper ip2as.Mapper, adj AdjacencyProvider, opts Options) *Engine {
 	if adj == nil {
 		adj = NoAdjacencies{}
@@ -111,8 +120,11 @@ func NewEngine(f *fabric.Fabric, p *measure.Prober, ing *ingress.Service, sites 
 	if opts.MaxHops == 0 {
 		opts.MaxHops = 40
 	}
+	if opts.DBRRepeats <= 0 {
+		opts.DBRRepeats = 2
+	}
 	return &Engine{
-		F: f, P: p, Ingress: ing, Sites: sites,
+		F: f, Pool: pool, Ingress: ing, Sites: sites,
 		Alias: res, Mapper: mapper, Adj: adj, Opts: opts,
 		cache: newCache(opts.CacheTTLUS, opts.CacheMaxEntries),
 	}
@@ -122,16 +134,96 @@ func NewEngine(f *fabric.Fabric, p *measure.Prober, ing *ingress.Service, sites 
 func (e *Engine) FlushCache() { e.cache.Flush() }
 
 // SetMetrics attaches an observability metric set (nil detaches). The
-// engine and its cache record into it from then on.
+// engine and its cache record into it from then on. Call before issuing
+// measurements.
 func (e *Engine) SetMetrics(m *Metrics) {
 	e.metrics = m
 	e.cache.metrics = m
 }
 
+// SetLogger attaches a structured debug logger. Engine decision events
+// are emitted at Debug level with src/dst/stage attributes. Call before
+// issuing measurements.
+func (e *Engine) SetLogger(l *slog.Logger) { e.logger = l }
+
+// debug emits one engine decision event: to the structured logger with
+// src/dst/stage attributes, and to the legacy Debugf shim as a line.
+func (e *Engine) debug(src Source, cur ipv4.Addr, stage, msg string, attrs ...any) {
+	if e.logger != nil {
+		e.logger.Debug(msg, append([]any{
+			slog.String("src", src.Agent.Addr.String()),
+			slog.String("dst", cur.String()),
+			slog.String("stage", stage),
+		}, attrs...)...)
+	}
+	if e.Debugf != nil {
+		e.Debugf("%s: %s (src=%s cur=%s)", stage, msg, src.Agent.Addr, cur)
+	}
+}
+
+// mctx is one measurement's probing context: the caller's context
+// (deadline and cancellation are checked between Fig 2 stages), the
+// per-measurement probe tally, and the deterministic sequence counter
+// probe identities derive from. Keeping the tally here — rather than
+// diffing a shared prober's counters — is what lets measurements share
+// one pool without blurring each other's budgets.
+type mctx struct {
+	ctx   context.Context
+	count measure.Counters
+	seq   uint64
+}
+
+// next allocates the next probe sequence number.
+func (m *mctx) next() uint64 {
+	m.seq++
+	return m.seq
+}
+
+// reserve allocates a contiguous block of n sequence numbers and returns
+// the base (used by traceroutes, one number per TTL).
+func (m *mctx) reserve(n int) uint64 {
+	base := m.seq
+	m.seq += uint64(n)
+	return base
+}
+
+// rrPing issues one direct Record Route ping through the pool.
+func (e *Engine) rrPing(m *mctx, a measure.Agent, dst ipv4.Addr) measure.RRResult {
+	rep := e.Pool.One(m.ctx, probe.Request{Kind: measure.KindRR, VP: a, Dst: dst, Seq: m.next()})
+	if rep.Sent {
+		m.count = m.count.Add(measure.Counters{RR: 1})
+	}
+	return rep.RR
+}
+
+// tsPing issues one direct tsprespec Timestamp ping through the pool.
+func (e *Engine) tsPing(m *mctx, a measure.Agent, dst ipv4.Addr, prespec []ipv4.Addr) measure.TSResult {
+	rep := e.Pool.One(m.ctx, probe.Request{Kind: measure.KindTS, VP: a, Dst: dst, Prespec: prespec, Seq: m.next()})
+	if rep.Sent {
+		m.count = m.count.Add(measure.Counters{TS: 1})
+	}
+	return rep.TS
+}
+
+// spoofedTSPing issues one spoofed Timestamp ping through the pool.
+func (e *Engine) spoofedTSPing(m *mctx, vp measure.Agent, src, dst ipv4.Addr, prespec []ipv4.Addr) measure.TSResult {
+	rep := e.Pool.One(m.ctx, probe.Request{Kind: measure.KindSpoofedTS, VP: vp, Src: src, Dst: dst, Prespec: prespec, Seq: m.next()})
+	if rep.Sent {
+		m.count = m.count.Add(measure.Counters{SpoofTS: 1})
+	}
+	return rep.TS
+}
+
 // MeasureReverse measures the reverse path from dst back to src,
-// implementing the Fig 2 control flow.
-func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
-	before := e.P.Count
+// implementing the Fig 2 control flow. ctx deadlines and cancellation
+// are honoured between stages and between spoofed batches: a cancelled
+// measurement returns promptly with StatusFailed and its partial probe
+// accounting. ctx may be nil (treated as context.Background()).
+func (e *Engine) MeasureReverse(ctx context.Context, src Source, dst ipv4.Addr) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := &mctx{ctx: ctx}
 	wallStart := time.Now()
 	res := &Result{
 		Src:  src.Agent.Addr,
@@ -139,7 +231,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 		Hops: []Hop{{Addr: dst, Tech: TechDestination}},
 	}
 	defer func() {
-		res.Probes = e.P.Count.Sub(before)
+		res.Probes = m.count
 		e.flagSuspects(res)
 		e.metrics.outcome(res, time.Since(wallStart).Microseconds(), e.cache.size())
 	}()
@@ -154,6 +246,11 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 	}
 
 	for step := 0; step < e.Opts.MaxHops; step++ {
+		if err := ctx.Err(); err != nil {
+			e.debug(src, cur, "cancel", "context done between stages", "err", err.Error())
+			res.Status = StatusFailed
+			return res
+		}
 		if e.reachedSource(cur, src) {
 			e.finish(res, src)
 			return res
@@ -162,7 +259,9 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 		// Step 1: does the current hop intersect a traceroute to S?
 		if x, ok := e.atlasLookup(src, cur, excludeAS); ok {
 			e.metrics.stage(TechTrIntersect)
-			x.Entry.Useful = true
+			x.Entry.MarkUseful()
+			e.debug(src, cur, "atlas", "intersected atlas traceroute",
+				"entry", x.Entry.ID, "pos", x.Pos, "suffix", len(x.Suffix))
 			res.AtlasUses = append(res.AtlasUses, AtlasUse{Entry: x.Entry, Pos: x.Pos})
 			for _, h := range x.Suffix {
 				res.Hops = append(res.Hops, Hop{Addr: h, Tech: TechTrIntersect})
@@ -172,14 +271,23 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 		}
 
 		// Step 2: Record Route.
-		rev := e.revealRR(src, cur)
+		rev := e.revealRR(m, src, cur)
 		res.DurationUS += rev.elapsedUS
 		res.SpoofBatches += rev.batches
+		if err := ctx.Err(); err != nil {
+			e.debug(src, cur, "cancel", "context done during RR step", "err", err.Error())
+			res.Status = StatusFailed
+			return res
+		}
 		if len(rev.hops) > 0 {
 			e.metrics.stage(rev.tech)
+			e.debug(src, cur, "rr", "revealed reverse hops",
+				"tech", rev.tech.String(), "hops", len(rev.hops), "batches", rev.batches)
 			dbrSuspect := false
 			if e.Opts.DetectDBRViolations {
-				dbrSuspect = e.checkDBR(src, cur, rev.hops[0])
+				var dbrUS int64
+				dbrSuspect, dbrUS = e.checkDBR(m, src, cur, rev.hops[0])
+				res.DurationUS += dbrUS
 			}
 			for i, h := range rev.hops {
 				res.Hops = append(res.Hops, Hop{Addr: h, Tech: rev.tech, DBRSuspect: i == 0 && dbrSuspect})
@@ -199,7 +307,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 
 		// Step 3: Timestamp adjacency testing (Q4; revtr 1.0 only).
 		if e.Opts.UseTimestamp {
-			if next, rtt := e.tryTimestamp(src, cur); !next.IsZero() {
+			if next, rtt := e.tryTimestamp(m, src, cur); !next.IsZero() {
 				res.DurationUS += rtt
 				if !visited[next] {
 					e.metrics.stage(TechTS)
@@ -217,7 +325,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 		// destination itself the traceroute must actually reach it — a
 		// host that answered nothing gives no evidence a reverse path
 		// exists at all.
-		penult, intra, adjacent, rtt, ok := e.penultimateHop(src, cur, cur == dst)
+		penult, intra, adjacent, rtt, ok := e.penultimateHop(m, src, cur, cur == dst)
 		res.DurationUS += rtt
 		if adjacent {
 			// The traceroute reaches cur within the source's first-hop
@@ -226,6 +334,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 			// away.
 			intra = ip2as.SameAS(e.Mapper, cur, src.Agent.Addr)
 			if e.Opts.Symmetry == SymIntraOnly && !intra || e.Opts.Symmetry == SymNever {
+				e.debug(src, cur, "symmetry", "abort: first-hop assumption not allowed", "intra", intra)
 				res.Status = StatusAborted
 				return res
 			}
@@ -238,9 +347,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 			return res
 		}
 		if !ok {
-			if e.Debugf != nil {
-				e.Debugf("fail: no penultimate for cur=%s (hops=%d)", cur, len(res.Hops))
-			}
+			e.debug(src, cur, "symmetry", "fail: no penultimate hop", "hops", len(res.Hops))
 			res.Status = StatusFailed
 			return res
 		}
@@ -249,6 +356,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 			// revtr 1.0: assume regardless, at known accuracy cost.
 		case SymIntraOnly:
 			if !intra {
+				e.debug(src, cur, "symmetry", "abort: interdomain assumption required", "penult", penult.String())
 				res.Status = StatusAborted
 				return res
 			}
@@ -262,9 +370,7 @@ func (e *Engine) MeasureReverse(src Source, dst ipv4.Addr) *Result {
 		}
 		e.metrics.symmetry(!intra)
 		if visited[penult] {
-			if e.Debugf != nil {
-				e.Debugf("fail: penultimate %s already visited (cur=%s)", penult, cur)
-			}
+			e.debug(src, cur, "symmetry", "fail: penultimate already visited", "penult", penult.String())
 			res.Status = StatusFailed
 			return res
 		}
@@ -312,7 +418,7 @@ func (e *Engine) atlasLookup(src Source, cur ipv4.Addr, excludeAS int32) (atlas.
 	if x.ViaRRAlias && !e.Opts.UseRRAtlas {
 		return atlas.Intersection{}, false
 	}
-	if e.Opts.AtlasMaxAgeUS > 0 && e.P.Now()-x.Entry.MeasuredAtUS > e.Opts.AtlasMaxAgeUS {
+	if e.Opts.AtlasMaxAgeUS > 0 && e.Pool.Now()-x.Entry.MeasuredAtUS > e.Opts.AtlasMaxAgeUS {
 		return atlas.Intersection{}, false
 	}
 	return x, true
@@ -329,22 +435,26 @@ type revealed struct {
 // revealRR uncovers reverse hops from cur toward the source: first a
 // direct RR ping from the source (Fig 1b), then spoofed RR pings from
 // vantage points chosen by the configured policy, in batches (Fig 1c–d).
-func (e *Engine) revealRR(src Source, cur ipv4.Addr) revealed {
+// Each batch is submitted to the pool as one unit and executes
+// concurrently; the engine stops issuing further batches once one
+// reveals hops (batch-granular early exit, which keeps probe counts
+// deterministic — every launched batch runs to completion).
+func (e *Engine) revealRR(m *mctx, src Source, cur ipv4.Addr) revealed {
 	if e.Opts.UseCache {
-		if hops, tech, ok := e.cache.getRR(cur, src.Agent.Addr, e.P.Now()); ok {
+		if hops, tech, ok := e.cache.getRR(cur, src.Agent.Addr, e.Pool.Now()); ok {
 			return revealed{hops: hops, tech: tech}
 		}
 	}
 	var out revealed
 
 	// Direct RR from the source.
-	rr := e.P.RRPing(src.Agent, cur)
+	rr := e.rrPing(m, src.Agent, cur)
 	out.elapsedUS += rr.RTTUS
 	if rr.Responded {
 		if hops := extractReverse(rr.Recorded, cur, e.Alias); len(hops) > 0 {
 			out.hops, out.tech = hops, TechRR
 			if e.Opts.UseCache {
-				e.cache.putRR(cur, src.Agent.Addr, hops, TechRR, e.P.Now())
+				e.cache.putRR(cur, src.Agent.Addr, hops, TechRR, e.Pool.Now())
 			}
 			return out
 		}
@@ -358,31 +468,39 @@ func (e *Engine) revealRR(src Source, cur ipv4.Addr) revealed {
 	plan := e.Ingress.PlanFor(pfx, e.Opts.VPSelection)
 	tried := 0
 	for start := 0; start < len(plan.Order); start += e.Opts.BatchSize {
-		end := start + e.Opts.BatchSize
-		if end > len(plan.Order) {
-			end = len(plan.Order)
+		if m.ctx.Err() != nil {
+			return out
 		}
-		out.batches++
-		out.elapsedUS += e.Opts.SpoofTimeoutUS
-		var best []ipv4.Addr
+		end := min(start+e.Opts.BatchSize, len(plan.Order))
+		reqs := make([]probe.Request, 0, end-start)
 		for _, si := range plan.Order[start:end] {
 			site := e.Sites[si]
 			if site.Addr == src.Agent.Addr {
 				continue // that would be the direct probe again
 			}
-			srr := e.P.SpoofedRRPing(site, src.Agent.Addr, cur)
-			tried++
-			if !srr.Responded {
+			reqs = append(reqs, probe.Request{
+				Kind: measure.KindSpoofedRR, VP: site,
+				Src: src.Agent.Addr, Dst: cur, Seq: m.next(),
+			})
+		}
+		out.batches++
+		out.elapsedUS += e.Opts.SpoofTimeoutUS
+		b := e.Pool.Do(m.ctx, reqs)
+		m.count = m.count.Add(b.Sent)
+		tried += len(reqs) - b.Skipped
+		var best []ipv4.Addr
+		for _, rep := range b.Replies {
+			if !rep.RR.Responded {
 				continue
 			}
-			if hops := extractReverse(srr.Recorded, cur, e.Alias); len(hops) > len(best) {
+			if hops := extractReverse(rep.RR.Recorded, cur, e.Alias); len(hops) > len(best) {
 				best = hops
 			}
 		}
 		if len(best) > 0 {
 			out.hops, out.tech = best, TechSpoofRR
 			if e.Opts.UseCache {
-				e.cache.putRR(cur, src.Agent.Addr, best, TechSpoofRR, e.P.Now())
+				e.cache.putRR(cur, src.Agent.Addr, best, TechSpoofRR, e.Pool.Now())
 			}
 			return out
 		}
@@ -394,18 +512,30 @@ func (e *Engine) revealRR(src Source, cur ipv4.Addr) revealed {
 }
 
 // checkDBR implements Appendix E's optional redundancy: re-reveal the
-// next hop after cur and report whether a consistent disagreement with
-// firstNext was observed. Two extra probes distinguish violators
-// (deterministic, source-dependent next hops) from per-packet load
-// balancers (random next hops), which do not harm accuracy.
-func (e *Engine) checkDBR(src Source, cur, firstNext ipv4.Addr) bool {
+// next hop after cur Opts.DBRRepeats more times (default 2, so three
+// samples total counting the original revelation) and report whether a
+// consistent disagreement with firstNext was observed, plus the virtual
+// time spent. The repeats distinguish violators (deterministic,
+// source-dependent next hops) from per-packet load balancers (random
+// next hops), which do not harm accuracy. The direct repeats go out as
+// one concurrent batch; repeats whose direct probe revealed nothing fall
+// back to one spoofed probe each, batched the same way.
+func (e *Engine) checkDBR(m *mctx, src Source, cur, firstNext ipv4.Addr) (bool, int64) {
+	direct := make([]probe.Request, e.Opts.DBRRepeats)
+	for k := range direct {
+		direct[k] = probe.Request{Kind: measure.KindRR, VP: src.Agent, Dst: cur, Seq: m.next()}
+	}
+	b := e.Pool.Do(m.ctx, direct)
+	m.count = m.count.Add(b.Sent)
+	elapsed := b.MaxRTTUS
+
 	observed := map[ipv4.Addr]bool{firstNext: true}
 	got := 0
-	for k := 0; k < 2; k++ {
-		rr := e.P.RRPing(src.Agent, cur)
-		hops := extractReverse(rr.Recorded, cur, e.Alias)
+	var fallback []probe.Request
+	for _, rep := range b.Replies {
+		hops := extractReverse(rep.RR.Recorded, cur, e.Alias)
 		if len(hops) == 0 {
-			// Direct probe out of range: one spoofed try.
+			// Direct probe out of range: one spoofed try for this repeat.
 			pfx, ok := e.F.Topo.BGPPrefixOf(cur)
 			if !ok {
 				continue
@@ -414,28 +544,40 @@ func (e *Engine) checkDBR(src Source, cur, firstNext ipv4.Addr) bool {
 			if len(plan.Order) == 0 {
 				continue
 			}
-			srr := e.P.SpoofedRRPing(e.Sites[plan.Order[0]], src.Agent.Addr, cur)
-			hops = extractReverse(srr.Recorded, cur, e.Alias)
+			fallback = append(fallback, probe.Request{
+				Kind: measure.KindSpoofedRR, VP: e.Sites[plan.Order[0]],
+				Src: src.Agent.Addr, Dst: cur, Seq: m.next(),
+			})
+			continue
 		}
-		if len(hops) > 0 {
-			got++
-			observed[hops[0]] = true
+		got++
+		observed[hops[0]] = true
+	}
+	if len(fallback) > 0 {
+		fb := e.Pool.Do(m.ctx, fallback)
+		m.count = m.count.Add(fb.Sent)
+		elapsed += fb.MaxRTTUS
+		for _, rep := range fb.Replies {
+			if hops := extractReverse(rep.RR.Recorded, cur, e.Alias); len(hops) > 0 {
+				got++
+				observed[hops[0]] = true
+			}
 		}
 	}
 	if got == 0 || len(observed) == 1 {
-		return false
+		return false, elapsed
 	}
 	// Multiple distinct next hops: if every repeat disagreed with every
-	// other, it is random per-packet balancing, not a violation. With
-	// only three samples we flag when exactly two distinct values were
-	// seen and the repeats agreed with each other.
-	return len(observed) == 2
+	// other, it is random per-packet balancing, not a violation. We flag
+	// when exactly two distinct values were seen across the 1+DBRRepeats
+	// samples — the repeats agreed with each other against the original.
+	return len(observed) == 2, elapsed
 }
 
 // tryTimestamp tests traceroute-derived adjacencies of cur with
 // tsprespec probes ⟨cur, adjacency⟩ (Fig 1e). A reply stamping both
 // addresses proves the adjacency is on the reverse path.
-func (e *Engine) tryTimestamp(src Source, cur ipv4.Addr) (ipv4.Addr, int64) {
+func (e *Engine) tryTimestamp(m *mctx, src Source, cur ipv4.Addr) (ipv4.Addr, int64) {
 	var elapsed int64
 	adjs := e.Adj.Adjacent(cur, src.Agent.Addr)
 	n := 0
@@ -447,7 +589,7 @@ func (e *Engine) tryTimestamp(src Source, cur ipv4.Addr) (ipv4.Addr, int64) {
 			continue
 		}
 		n++
-		ts := e.P.TSPing(src.Agent, cur, []ipv4.Addr{cur, adj})
+		ts := e.tsPing(m, src.Agent, cur, []ipv4.Addr{cur, adj})
 		elapsed += ts.RTTUS
 		if !ts.Responded {
 			// Some hops only answer options probes arriving on other
@@ -456,7 +598,7 @@ func (e *Engine) tryTimestamp(src Source, cur ipv4.Addr) (ipv4.Addr, int64) {
 				if !site.CanSpoof || site.Addr == src.Agent.Addr {
 					continue
 				}
-				ts = e.P.SpoofedTSPing(site, src.Agent.Addr, cur, []ipv4.Addr{cur, adj})
+				ts = e.spoofedTSPing(m, site, src.Agent.Addr, cur, []ipv4.Addr{cur, adj})
 				elapsed += ts.RTTUS
 				break
 			}
@@ -474,19 +616,23 @@ func (e *Engine) tryTimestamp(src Source, cur ipv4.Addr) (ipv4.Addr, int64) {
 // IP-to-AS mapping, whether cur sits inside the source's first-hop
 // neighborhood (traceroute reaches it in ≤2 hops with no responsive
 // penultimate), the elapsed time, and whether a usable hop was found.
-func (e *Engine) penultimateHop(src Source, cur ipv4.Addr, requireReached bool) (penult ipv4.Addr, intra, adjacent bool, elapsedOut int64, ok bool) {
+func (e *Engine) penultimateHop(m *mctx, src Source, cur ipv4.Addr, requireReached bool) (penult ipv4.Addr, intra, adjacent bool, elapsedOut int64, ok bool) {
 	var tr measure.TracerouteResult
 	var elapsed int64
 	if e.Opts.UseCache {
-		if c, ok := e.cache.getTraceroute(cur, src.Agent.Addr, e.P.Now()); ok {
+		if c, ok := e.cache.getTraceroute(cur, src.Agent.Addr, e.Pool.Now()); ok {
 			tr = c
 		}
 	}
 	if tr.Hops == nil {
-		tr = e.P.Traceroute(src.Agent, cur)
+		var sent int
+		tr, sent = e.Pool.Traceroute(m.ctx, src.Agent, cur, m.reserve(measure.MaxTracerouteTTL))
+		m.count.Traceroute += uint64(sent)
 		elapsed = tr.RTTUS
-		if e.Opts.UseCache {
-			e.cache.putTraceroute(cur, src.Agent.Addr, tr, e.P.Now())
+		// A cancelled traceroute measured nothing; caching it would
+		// poison later measurements with an empty result.
+		if e.Opts.UseCache && m.ctx.Err() == nil {
+			e.cache.putTraceroute(cur, src.Agent.Addr, tr, e.Pool.Now())
 		}
 	}
 	if requireReached && !tr.ReachedDst {

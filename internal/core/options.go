@@ -77,6 +77,10 @@ type Options struct {
 	// balancing) are flagged DBRSuspect. Costs roughly one extra RR
 	// probe per revelation; off in both standard configurations.
 	DetectDBRViolations bool
+	// DBRRepeats is how many redundant re-revelations checkDBR issues on
+	// top of the original one (1+DBRRepeats samples total). <= 0 selects
+	// the default of 2.
+	DBRRepeats int
 	// MaxHops bounds the reverse path length.
 	MaxHops int
 }

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 
@@ -40,7 +42,7 @@ func init() {
 					continue
 				}
 				r.n++
-				res := eng.MeasureReverse(src, dst.Addr)
+				res := eng.MeasureReverse(context.Background(), src, dst.Addr)
 				if res.Status != core.StatusComplete {
 					continue
 				}
@@ -88,7 +90,7 @@ func init() {
 			}
 			opts := core.Revtr20Options()
 			opts.ExcludeAtlasFromDstAS = true
-			eng := core.NewEngine(d.Fabric, d.Prober, d.IngressSvc, d.SiteAgents, res, d.Mapper, nil, opts)
+			eng := core.NewEngine(d.Fabric, d.Pool, d.IngressSvc, d.SiteAgents, res, d.Mapper, nil, opts)
 			completed, n := 0, 0
 			var frac Dist
 			for _, dst := range dests {
@@ -96,7 +98,7 @@ func init() {
 					continue
 				}
 				n++
-				r := eng.MeasureReverse(src, dst.Addr)
+				r := eng.MeasureReverse(context.Background(), src, dst.Addr)
 				if r.Status != core.StatusComplete {
 					continue
 				}

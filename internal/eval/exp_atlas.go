@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"math/rand"
@@ -324,7 +326,7 @@ func init() {
 				if dst.AS == src.Agent.AS {
 					continue
 				}
-				res := eng.MeasureReverse(src, dst.Addr)
+				res := eng.MeasureReverse(context.Background(), src, dst.Addr)
 				total++
 				for _, use := range res.AtlasUses {
 					e := use.Entry

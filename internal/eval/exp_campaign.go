@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -65,7 +67,7 @@ func runCampaign(s Scale) *campaignData {
 		}
 		n++
 		fwd := d.Prober.Traceroute(src.Agent, dst.Addr)
-		rev := eng.MeasureReverse(src, dst.Addr)
+		rev := eng.MeasureReverse(context.Background(), src, dst.Addr)
 		c.recs = append(c.recs, campaignRec{srcIdx: srcIdx, dst: dst, fwd: fwd, rev: rev})
 	}
 

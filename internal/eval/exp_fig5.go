@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sync"
@@ -173,12 +175,12 @@ func runFig5(s Scale) *fig5Data {
 		eng := d.EngineWithAdjacencies(c.opts, c.adj)
 		st := &runStats{name: name}
 		for i, p := range pairs {
-			r := eng.MeasureReverse(f.sources[p.srcIdx], p.dst.Addr)
+			r := eng.MeasureReverse(context.Background(), f.sources[p.srcIdx], p.dst.Addr)
 			st.attempted++
 			if r.Status == core.StatusComplete {
 				st.completed++
 			}
-			st.counters.Add(r.Probes)
+			st.counters = st.counters.Add(r.Probes)
 			st.durations.Add(float64(r.DurationUS) / 1e6)
 			st.pairs = append(st.pairs, pairOutcome{dst: p.dst, srcIdx: p.srcIdx, res: r, direct: directs[i]})
 		}

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 	"sort"
@@ -184,7 +186,7 @@ func (e *teEnv) reverseSplit(r *teRound, targets []*topology.Host, carrier topol
 	split := map[int]int{}
 	seenOnRev := 0
 	for _, h := range targets {
-		res := e.eng.MeasureReverse(e.source, h.Addr)
+		res := e.eng.MeasureReverse(context.Background(), e.source, h.Addr)
 		if res.Status != core.StatusComplete {
 			continue
 		}

@@ -3,6 +3,12 @@
 // ping, spoofed Record Route ping, tsprespec Timestamp ping, and Paris
 // traceroute. Every primitive is accounted per packet type, which is how
 // the Table 4 probe budget comparison is produced.
+//
+// The package is split into a pure per-probe issue path (Spec/Issue in
+// spec.go — a deterministic function of the probe description and the
+// virtual time, safe to run concurrently) and the serial Prober
+// convenience wrapper below. Concurrent batch execution lives in
+// internal/probe, which drives the same pure path through a worker pool.
 package measure
 
 import (
@@ -36,7 +42,10 @@ func AgentFromHost(topo *topology.Topology, h *topology.Host) Agent {
 	}
 }
 
-// Counters tallies probe packets by type — the Table 4 columns.
+// Counters tallies probe packets by type — the Table 4 columns. It is a
+// plain value: Add and Sub return results instead of mutating, so
+// aggregation across goroutines stays explicit (accumulate locally, or
+// use probe.Pool's atomic aggregation).
 type Counters struct {
 	Ping       uint64
 	RR         uint64
@@ -47,18 +56,20 @@ type Counters struct {
 }
 
 // Total is the grand total of probe packets sent.
-func (c *Counters) Total() uint64 {
+func (c Counters) Total() uint64 {
 	return c.Ping + c.RR + c.SpoofRR + c.TS + c.SpoofTS + c.Traceroute
 }
 
-// Add accumulates other into c.
-func (c *Counters) Add(other Counters) {
-	c.Ping += other.Ping
-	c.RR += other.RR
-	c.SpoofRR += other.SpoofRR
-	c.TS += other.TS
-	c.SpoofTS += other.SpoofTS
-	c.Traceroute += other.Traceroute
+// Add returns c plus other.
+func (c Counters) Add(other Counters) Counters {
+	return Counters{
+		Ping:       c.Ping + other.Ping,
+		RR:         c.RR + other.RR,
+		SpoofRR:    c.SpoofRR + other.SpoofRR,
+		TS:         c.TS + other.TS,
+		SpoofTS:    c.SpoofTS + other.SpoofTS,
+		Traceroute: c.Traceroute + other.Traceroute,
+	}
 }
 
 // Sub returns c minus other.
@@ -73,37 +84,47 @@ func (c Counters) Sub(other Counters) Counters {
 	}
 }
 
-// Prober issues probes on a fabric. It is not safe for concurrent use.
+// Prober issues probes serially on a fabric: a convenience wrapper over
+// the pure Spec/Issue path for background services (atlas building,
+// ingress surveys) and evaluation code. It is not safe for concurrent
+// use — concurrent measurement probing goes through probe.Pool, which
+// shares the same Clock.
 type Prober struct {
 	F *fabric.Fabric
 	// Count accumulates packets sent.
 	Count Counters
 
-	nextID    uint16
-	nextNonce uint64
-	nowUS     int64
+	clock *Clock
+	seq   uint64
 }
 
-// NewProber creates a prober over f.
-func NewProber(f *fabric.Fabric) *Prober { return &Prober{F: f} }
+// NewProber creates a prober over f with its own clock.
+func NewProber(f *fabric.Fabric) *Prober {
+	return &Prober{F: f, clock: NewClock()}
+}
+
+// NewProberWithClock creates a prober sharing an existing clock (one
+// deployment: one clock).
+func NewProberWithClock(f *fabric.Fabric, c *Clock) *Prober {
+	return &Prober{F: f, clock: c}
+}
+
+// Clock exposes the prober's virtual clock.
+func (p *Prober) Clock() *Clock { return p.clock }
 
 // Now returns the prober's virtual clock (microseconds).
-func (p *Prober) Now() int64 { return p.nowUS }
+func (p *Prober) Now() int64 { return p.clock.Now() }
 
 // Advance moves the virtual clock forward.
-func (p *Prober) Advance(us int64) { p.nowUS += us }
+func (p *Prober) Advance(us int64) { p.clock.Advance(us) }
 
 // SetNow sets the virtual clock.
-func (p *Prober) SetNow(us int64) { p.nowUS = us }
+func (p *Prober) SetNow(us int64) { p.clock.Set(us) }
 
-func (p *Prober) id() uint16 {
-	p.nextID++
-	return p.nextID
-}
-
-func (p *Prober) nonce() uint64 {
-	p.nextNonce++
-	return p.nextNonce
+// next allocates the next probe sequence number.
+func (p *Prober) next() uint64 {
+	p.seq++
+	return p.seq
 }
 
 // replyTo extracts the first delivery addressed to addr.
@@ -129,20 +150,7 @@ type PingResult struct {
 // Ping sends one echo request from agent a to dst.
 func (p *Prober) Ping(a Agent, dst ipv4.Addr) PingResult {
 	p.Count.Ping++
-	pkt := ipv4.BuildEchoRequest(a.Addr, dst, p.id(), 1, 64, 0, nil)
-	res := p.F.Inject(a.Router, pkt, p.nowUS, flowKey(a.Addr, dst, 0), p.nonce())
-	site := -1
-	for i := range res.Deliveries {
-		if res.Deliveries[i].Site >= 0 {
-			site = res.Deliveries[i].Site
-		}
-	}
-	if d, ok := replyTo(res, a.Addr); ok {
-		return PingResult{Alive: true, RTTUS: d.TimeUS - p.nowUS, Site: site}
-	}
-	// The request may have been delivered (fixing the catchment) even if
-	// no reply was produced.
-	return PingResult{Site: site}
+	return Issue(p.F, Spec{Kind: KindPing, VP: a, Dst: dst, Seq: p.next()}, p.clock.Now()).Ping
 }
 
 // RRResult is the outcome of a Record Route ping.
@@ -160,7 +168,7 @@ type RRResult struct {
 // agent a to dst. The reply (if any) is received at a.
 func (p *Prober) RRPing(a Agent, dst ipv4.Addr) RRResult {
 	p.Count.RR++
-	return p.rrPing(a.Router, a.Addr, dst, a.Addr)
+	return Issue(p.F, Spec{Kind: KindRR, VP: a, Dst: dst, Seq: p.next()}, p.clock.Now()).RR
 }
 
 // SpoofedRRPing sends an RR echo request to dst from vantage point vp,
@@ -172,28 +180,7 @@ func (p *Prober) SpoofedRRPing(vp Agent, src ipv4.Addr, dst ipv4.Addr) RRResult 
 		return RRResult{}
 	}
 	p.Count.SpoofRR++
-	return p.rrPing(vp.Router, src, dst, src)
-}
-
-func (p *Prober) rrPing(at topology.RouterID, srcAddr, dst, recvAddr ipv4.Addr) RRResult {
-	pkt := ipv4.BuildEchoRequest(srcAddr, dst, p.id(), 1, 64, ipv4.RRSlots, nil)
-	res := p.F.Inject(at, pkt, p.nowUS, flowKey(srcAddr, dst, 0), p.nonce())
-	d, ok := replyTo(res, recvAddr)
-	if !ok {
-		return RRResult{}
-	}
-	var h ipv4.Header
-	if _, err := h.Decode(d.Pkt); err != nil || !h.HasRR {
-		return RRResult{}
-	}
-	rec := make([]ipv4.Addr, h.RR.N)
-	copy(rec, h.RR.Recorded())
-	return RRResult{
-		Responded: true,
-		RTTUS:     d.TimeUS - p.nowUS,
-		Recorded:  rec,
-		ReplyFrom: h.Src,
-	}
+	return Issue(p.F, Spec{Kind: KindSpoofedRR, VP: vp, Src: src, Dst: dst, Seq: p.next()}, p.clock.Now()).RR
 }
 
 // TSResult is the outcome of a tsprespec Timestamp ping.
@@ -209,7 +196,7 @@ type TSResult struct {
 // addresses (at most 4) from a to dst.
 func (p *Prober) TSPing(a Agent, dst ipv4.Addr, prespec []ipv4.Addr) TSResult {
 	p.Count.TS++
-	return p.tsPing(a.Router, a.Addr, dst, a.Addr, prespec)
+	return Issue(p.F, Spec{Kind: KindTS, VP: a, Dst: dst, Prespec: prespec, Seq: p.next()}, p.clock.Now()).TS
 }
 
 // SpoofedTSPing is TSPing sent from vp spoofing src.
@@ -218,25 +205,7 @@ func (p *Prober) SpoofedTSPing(vp Agent, src, dst ipv4.Addr, prespec []ipv4.Addr
 		return TSResult{}
 	}
 	p.Count.SpoofTS++
-	return p.tsPing(vp.Router, src, dst, src, prespec)
-}
-
-func (p *Prober) tsPing(at topology.RouterID, srcAddr, dst, recvAddr ipv4.Addr, prespec []ipv4.Addr) TSResult {
-	pkt := ipv4.BuildEchoRequest(srcAddr, dst, p.id(), 1, 64, 0, prespec)
-	res := p.F.Inject(at, pkt, p.nowUS, flowKey(srcAddr, dst, 0), p.nonce())
-	d, ok := replyTo(res, recvAddr)
-	if !ok {
-		return TSResult{}
-	}
-	var h ipv4.Header
-	if _, err := h.Decode(d.Pkt); err != nil || !h.HasTS {
-		return TSResult{}
-	}
-	out := TSResult{Responded: true, RTTUS: d.TimeUS - p.nowUS, Stamped: make([]bool, h.TS.N)}
-	for i := 0; i < h.TS.N; i++ {
-		out.Stamped[i] = h.TS.Pairs[i].Stamped
-	}
-	return out
+	return Issue(p.F, Spec{Kind: KindSpoofedTS, VP: vp, Src: src, Dst: dst, Prespec: prespec, Seq: p.next()}, p.clock.Now()).TS
 }
 
 // TracerouteHop is one hop of a traceroute.
@@ -258,50 +227,12 @@ const MaxTracerouteTTL = 40
 
 // Traceroute runs a Paris traceroute (constant flow identifier) from a to
 // dst. One probe per TTL; stops at the destination's echo reply or after
-// two consecutive silent hops beyond TTL 30.
+// four consecutive silent hops.
 func (p *Prober) Traceroute(a Agent, dst ipv4.Addr) TracerouteResult {
-	var out TracerouteResult
-	flow := flowKey(a.Addr, dst, 1)
-	silent := 0
-	for ttl := 1; ttl <= MaxTracerouteTTL; ttl++ {
-		p.Count.Traceroute++
-		pkt := ipv4.BuildEchoRequest(a.Addr, dst, p.id(), uint16(ttl), uint8(ttl), 0, nil)
-		res := p.F.Inject(a.Router, pkt, p.nowUS, flow, p.nonce())
-		d, ok := replyTo(res, a.Addr)
-		if !ok {
-			out.Hops = append(out.Hops, TracerouteHop{})
-			silent++
-			if silent >= 4 {
-				break
-			}
-			continue
-		}
-		silent = 0
-		var h ipv4.Header
-		payload, err := h.Decode(d.Pkt)
-		if err != nil {
-			out.Hops = append(out.Hops, TracerouteHop{})
-			continue
-		}
-		var m ipv4.ICMP
-		if m.Decode(payload) != nil {
-			out.Hops = append(out.Hops, TracerouteHop{})
-			continue
-		}
-		rtt := d.TimeUS - p.nowUS
-		out.RTTUS += rtt
-		switch m.Type {
-		case ipv4.ICMPTimeExceeded:
-			out.Hops = append(out.Hops, TracerouteHop{Addr: h.Src, RTTUS: rtt, Responded: true})
-		case ipv4.ICMPEchoReply:
-			out.Hops = append(out.Hops, TracerouteHop{Addr: h.Src, RTTUS: rtt, Responded: true})
-			out.ReachedDst = true
-			return out
-		default:
-			out.Hops = append(out.Hops, TracerouteHop{})
-		}
-	}
-	return out
+	tr, sent := RunTraceroute(p.F, a, dst, p.clock.Now(), p.seq)
+	p.seq += MaxTracerouteTTL
+	p.Count.Traceroute += uint64(sent)
+	return tr
 }
 
 // HopAddrs extracts the responding hop addresses of a traceroute,

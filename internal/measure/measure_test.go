@@ -152,10 +152,13 @@ func TestCountersArithmetic(t *testing.T) {
 		t.Errorf("sub wrong: %+v total %d", d, d.Total())
 	}
 	var c measure.Counters
-	c.Add(a)
-	c.Add(b)
+	c = c.Add(a)
+	c = c.Add(b)
 	if c.Total() != a.Total()+b.Total() {
 		t.Error("add wrong")
+	}
+	if a.Ping != 5 || b.Ping != 1 {
+		t.Error("Add must not mutate its operands")
 	}
 }
 

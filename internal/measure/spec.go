@@ -1,0 +1,311 @@
+package measure
+
+import (
+	"sync/atomic"
+
+	"revtr/internal/netsim/fabric"
+	"revtr/internal/netsim/ipv4"
+)
+
+// Clock is a shared virtual clock in microseconds, safe for concurrent
+// use. One deployment owns one Clock: the serial Prober, the concurrent
+// probe pool, and every engine read the same virtual time, so cache TTLs
+// and atlas ages stay consistent when eval code advances the day.
+type Clock struct {
+	us atomic.Int64
+}
+
+// NewClock creates a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time (microseconds).
+func (c *Clock) Now() int64 { return c.us.Load() }
+
+// Advance moves the virtual clock forward.
+func (c *Clock) Advance(us int64) { c.us.Add(us) }
+
+// Set sets the virtual clock.
+func (c *Clock) Set(us int64) { c.us.Store(us) }
+
+// Kind enumerates the probe packet types.
+type Kind uint8
+
+const (
+	// KindPing is a plain echo request.
+	KindPing Kind = iota
+	// KindRR is an echo request carrying a 9-slot Record Route option.
+	KindRR
+	// KindSpoofedRR is an RR echo request sent from a vantage point with a
+	// spoofed source; the reply travels the reverse path to Spec.Src.
+	KindSpoofedRR
+	// KindTS is a tsprespec Timestamp echo request.
+	KindTS
+	// KindSpoofedTS is a spoofed tsprespec Timestamp echo request.
+	KindSpoofedTS
+	// KindTraceroutePkt is a single TTL-limited traceroute probe packet.
+	KindTraceroutePkt
+)
+
+// Spec fully describes one probe packet. A Spec plus a virtual time is
+// everything Issue needs; issuing the same Spec at the same time against
+// the same fabric always yields the same Reply, which is what makes
+// concurrent batch execution bit-identical to serial execution.
+type Spec struct {
+	Kind Kind
+	// VP is the endpoint the packet is injected at (and, for unspoofed
+	// probes, the reply receiver).
+	VP Agent
+	// Src is the spoofed source address for KindSpoofedRR/KindSpoofedTS
+	// (the reply receiver); zero means the packet carries VP's own
+	// address.
+	Src ipv4.Addr
+	Dst ipv4.Addr
+	// Prespec is the tsprespec address list (Timestamp kinds only).
+	Prespec []ipv4.Addr
+	// TTL is the probe TTL (KindTraceroutePkt only).
+	TTL uint8
+	// Seq is the per-measurement sequence number the probe's ID and
+	// load-balancer nonce are derived from. Callers assign sequence
+	// numbers deterministically (a counter per measurement), so probe
+	// identities do not depend on execution order.
+	Seq uint64
+}
+
+// src is the address written into the packet's source field.
+func (sp Spec) src() ipv4.Addr {
+	if sp.Src.IsZero() {
+		return sp.VP.Addr
+	}
+	return sp.Src
+}
+
+// Delta is the Counters increment for one issued packet of this spec.
+func (sp Spec) Delta() Counters {
+	switch sp.Kind {
+	case KindPing:
+		return Counters{Ping: 1}
+	case KindRR:
+		return Counters{RR: 1}
+	case KindSpoofedRR:
+		return Counters{SpoofRR: 1}
+	case KindTS:
+		return Counters{TS: 1}
+	case KindSpoofedTS:
+		return Counters{SpoofTS: 1}
+	case KindTraceroutePkt:
+		return Counters{Traceroute: 1}
+	}
+	return Counters{}
+}
+
+// Reply is the outcome of one issued Spec. Sent is false when the probe
+// was not put on the wire at all (a spoofed kind from a vantage point
+// that cannot spoof, or a cancelled batch slot) — unsent probes are not
+// accounted.
+type Reply struct {
+	Sent bool
+	Ping PingResult
+	RR   RRResult
+	TS   TSResult
+	// Hop, EchoReply, and Delivered carry KindTraceroutePkt outcomes
+	// (Delivered distinguishes an undecodable reply from silence: only
+	// silence advances the traceroute's give-up counter).
+	Hop       TracerouteHop
+	EchoReply bool
+	Delivered bool
+}
+
+// RTTUS is the responder round-trip time of the reply, or 0 when nothing
+// came back. Batch virtual time is the max over these (paper batch
+// semantics: probes fly concurrently).
+func (r Reply) RTTUS() int64 {
+	switch {
+	case r.Ping.Alive:
+		return r.Ping.RTTUS
+	case r.RR.Responded:
+		return r.RR.RTTUS
+	case r.TS.Responded:
+		return r.TS.RTTUS
+	case r.Hop.Responded:
+		return r.Hop.RTTUS
+	}
+	return 0
+}
+
+// mix64 is a splitmix64-style finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// probeKey derives the probe's ICMP identifier and per-packet
+// load-balancer nonce as a pure function of (packet source, destination,
+// sequence, kind). Serial and concurrent execution therefore put
+// bit-identical packets on the wire.
+func probeKey(sp Spec) (id uint16, nonce uint64) {
+	h := uint64(uint32(sp.src()))<<32 | uint64(uint32(sp.Dst))
+	h = mix64(h ^ (sp.Seq+1)*0x9e3779b97f4a7c15 ^ uint64(sp.Kind)<<56)
+	return uint16(h >> 48), mix64(h ^ 0xa5a5a5a55a5a5a5a)
+}
+
+// Issue sends the probe described by sp on f at virtual time nowUS and
+// decodes the reply. It is a pure function of its arguments (the fabric's
+// own statistics counters aside) and is safe to call concurrently.
+func Issue(f *fabric.Fabric, sp Spec, nowUS int64) Reply {
+	switch sp.Kind {
+	case KindPing:
+		return issuePing(f, sp, nowUS)
+	case KindRR, KindSpoofedRR:
+		return issueRR(f, sp, nowUS)
+	case KindTS, KindSpoofedTS:
+		return issueTS(f, sp, nowUS)
+	case KindTraceroutePkt:
+		return issueTraceroutePkt(f, sp, nowUS)
+	}
+	return Reply{}
+}
+
+func issuePing(f *fabric.Fabric, sp Spec, nowUS int64) Reply {
+	id, nonce := probeKey(sp)
+	pkt := ipv4.BuildEchoRequest(sp.VP.Addr, sp.Dst, id, 1, 64, 0, nil)
+	res := f.Inject(sp.VP.Router, pkt, nowUS, flowKey(sp.VP.Addr, sp.Dst, 0), nonce)
+	out := Reply{Sent: true, Ping: PingResult{Site: -1}}
+	for i := range res.Deliveries {
+		if res.Deliveries[i].Site >= 0 {
+			out.Ping.Site = res.Deliveries[i].Site
+		}
+	}
+	if d, ok := replyTo(res, sp.VP.Addr); ok {
+		out.Ping.Alive = true
+		out.Ping.RTTUS = d.TimeUS - nowUS
+	}
+	return out
+}
+
+func issueRR(f *fabric.Fabric, sp Spec, nowUS int64) Reply {
+	if sp.Kind == KindSpoofedRR && !sp.VP.CanSpoof {
+		return Reply{}
+	}
+	srcAddr := sp.src()
+	id, nonce := probeKey(sp)
+	pkt := ipv4.BuildEchoRequest(srcAddr, sp.Dst, id, 1, 64, ipv4.RRSlots, nil)
+	res := f.Inject(sp.VP.Router, pkt, nowUS, flowKey(srcAddr, sp.Dst, 0), nonce)
+	out := Reply{Sent: true}
+	d, ok := replyTo(res, srcAddr)
+	if !ok {
+		return out
+	}
+	var h ipv4.Header
+	if _, err := h.Decode(d.Pkt); err != nil || !h.HasRR {
+		return out
+	}
+	rec := make([]ipv4.Addr, h.RR.N)
+	copy(rec, h.RR.Recorded())
+	out.RR = RRResult{
+		Responded: true,
+		RTTUS:     d.TimeUS - nowUS,
+		Recorded:  rec,
+		ReplyFrom: h.Src,
+	}
+	return out
+}
+
+func issueTS(f *fabric.Fabric, sp Spec, nowUS int64) Reply {
+	if sp.Kind == KindSpoofedTS && !sp.VP.CanSpoof {
+		return Reply{}
+	}
+	srcAddr := sp.src()
+	id, nonce := probeKey(sp)
+	pkt := ipv4.BuildEchoRequest(srcAddr, sp.Dst, id, 1, 64, 0, sp.Prespec)
+	res := f.Inject(sp.VP.Router, pkt, nowUS, flowKey(srcAddr, sp.Dst, 0), nonce)
+	out := Reply{Sent: true}
+	d, ok := replyTo(res, srcAddr)
+	if !ok {
+		return out
+	}
+	var h ipv4.Header
+	if _, err := h.Decode(d.Pkt); err != nil || !h.HasTS {
+		return out
+	}
+	out.TS = TSResult{Responded: true, RTTUS: d.TimeUS - nowUS, Stamped: make([]bool, h.TS.N)}
+	for i := 0; i < h.TS.N; i++ {
+		out.TS.Stamped[i] = h.TS.Pairs[i].Stamped
+	}
+	return out
+}
+
+func issueTraceroutePkt(f *fabric.Fabric, sp Spec, nowUS int64) Reply {
+	id, nonce := probeKey(sp)
+	pkt := ipv4.BuildEchoRequest(sp.VP.Addr, sp.Dst, id, uint16(sp.TTL), sp.TTL, 0, nil)
+	// Paris semantics: the flow key is constant across TTLs (and does not
+	// include the nonce — traceroute packets carry no IP options, so
+	// per-packet load balancers never consult the nonce either).
+	res := f.Inject(sp.VP.Router, pkt, nowUS, flowKey(sp.VP.Addr, sp.Dst, 1), nonce)
+	out := Reply{Sent: true}
+	d, ok := replyTo(res, sp.VP.Addr)
+	if !ok {
+		return out
+	}
+	out.Delivered = true
+	var h ipv4.Header
+	payload, err := h.Decode(d.Pkt)
+	if err != nil {
+		return out
+	}
+	var m ipv4.ICMP
+	if m.Decode(payload) != nil {
+		return out
+	}
+	rtt := d.TimeUS - nowUS
+	switch m.Type {
+	case ipv4.ICMPTimeExceeded:
+		out.Hop = TracerouteHop{Addr: h.Src, RTTUS: rtt, Responded: true}
+	case ipv4.ICMPEchoReply:
+		out.Hop = TracerouteHop{Addr: h.Src, RTTUS: rtt, Responded: true}
+		out.EchoReply = true
+	}
+	return out
+}
+
+// RunTraceroute is the pure Paris traceroute: one probe per TTL with
+// sequence numbers seqBase+1, seqBase+2, …; stops at the destination's
+// echo reply or after four consecutive silent hops. Returns the result
+// and the number of probe packets sent. Callers reserve MaxTracerouteTTL
+// sequence numbers so concurrent measurements never collide.
+func RunTraceroute(f *fabric.Fabric, a Agent, dst ipv4.Addr, nowUS int64, seqBase uint64) (TracerouteResult, int) {
+	var out TracerouteResult
+	sent := 0
+	silent := 0
+	for ttl := 1; ttl <= MaxTracerouteTTL; ttl++ {
+		sent++
+		rep := Issue(f, Spec{
+			Kind: KindTraceroutePkt, VP: a, Dst: dst,
+			TTL: uint8(ttl), Seq: seqBase + uint64(ttl),
+		}, nowUS)
+		if !rep.Delivered {
+			out.Hops = append(out.Hops, TracerouteHop{})
+			silent++
+			if silent >= 4 {
+				break
+			}
+			continue
+		}
+		silent = 0
+		if !rep.Hop.Responded {
+			// Delivered but undecodable or an unexpected ICMP type.
+			out.Hops = append(out.Hops, TracerouteHop{})
+			continue
+		}
+		out.RTTUS += rep.Hop.RTTUS
+		out.Hops = append(out.Hops, rep.Hop)
+		if rep.EchoReply {
+			out.ReachedDst = true
+			return out, sent
+		}
+	}
+	return out, sent
+}

@@ -1,0 +1,292 @@
+// Package probe executes batches of measurement probes concurrently over
+// the simulated fabric — the §5.2.4 scalability substrate. The paper's
+// system issues each spoofed-RR batch of 3 vantage points in parallel and
+// runs many reverse traceroutes at once; Pool provides exactly that: a
+// bounded worker pool over the (thread-safe) fabric that executes
+// []probe.Request batches, aggregates probe counters atomically, and
+// charges virtual time per batch as the max RTT within the batch rather
+// than a serial sum.
+//
+// Determinism contract: requests are measure.Specs, whose probe IDs and
+// load-balancer nonces are pure functions of (packet source, destination,
+// sequence). Do always issues every request of a batch (no intra-batch
+// early exit), so the replies and counters of a batch are bit-identical
+// no matter how many workers execute it or in what order — serial and
+// concurrent runs of the same measurement cannot diverge. DoStop trades
+// that guarantee for latency and is therefore not used on measurement
+// paths that require reproducibility.
+//
+// Cancellation contract: Do observes ctx between request launches. A
+// cancelled batch still returns the replies of every request already
+// launched (those probes were "on the wire"); requests never launched
+// report Sent == false and are not accounted.
+package probe
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"revtr/internal/measure"
+	"revtr/internal/netsim/fabric"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
+)
+
+// Request is one probe to issue: a measure.Spec (the pure per-probe
+// description introduced by the probe-layer split).
+type Request = measure.Spec
+
+// Batch is the outcome of one Do call.
+type Batch struct {
+	// Replies holds one entry per request, in request order, regardless
+	// of completion order.
+	Replies []measure.Reply
+	// Sent tallies the probes actually issued (skipped spoof-incapable
+	// vantage points and cancelled slots are not counted).
+	Sent measure.Counters
+	// MaxRTTUS is the largest responder RTT in the batch — the batch's
+	// virtual wall-clock cost under the paper's concurrent-batch
+	// semantics (probes fly in parallel; the batch is done when the
+	// slowest reply lands).
+	MaxRTTUS int64
+	// Skipped counts requests never launched (context cancelled or a
+	// DoStop predicate fired first).
+	Skipped int
+}
+
+// Pool executes probe batches over a fabric with bounded concurrency.
+// It is safe for concurrent use by any number of goroutines; all Do/One
+// calls share one worker budget.
+type Pool struct {
+	F *fabric.Fabric
+
+	clock   *measure.Clock
+	workers int
+	sem     chan struct{}
+
+	// Aggregate counters, atomic so concurrent batches can share them.
+	ping, rr, spoofRR, ts, spoofTS, traceroute atomic.Uint64
+
+	inFlight    *obs.Gauge
+	batchSize   *obs.Histogram
+	batchWallUS *obs.Histogram
+	batches     *obs.Counter
+}
+
+// batchSizeBuckets spans single probes through revtr 1.0's widest VP
+// sweeps.
+var batchSizeBuckets = []int64{1, 2, 3, 6, 12, 24, 48, 96, 200}
+
+// inlineBatch is the batch size at or below which run executes requests
+// on the caller's goroutine instead of fanning out (see run).
+const inlineBatch = 4
+
+// New creates a pool over f sharing clock. workers <= 0 selects
+// GOMAXPROCS.
+func New(f *fabric.Fabric, clock *measure.Clock, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if clock == nil {
+		clock = measure.NewClock()
+	}
+	return &Pool{
+		F:       f,
+		clock:   clock,
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+	}
+}
+
+// SetObs attaches pool metrics to a registry: the in-flight probe gauge,
+// batch-size and batch-latency histograms, and a batch counter. Call
+// before the pool is in use.
+func (p *Pool) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.inFlight = reg.Gauge("probe_pool_inflight")
+	p.batchSize = reg.Histogram("probe_pool_batch_size", batchSizeBuckets)
+	p.batchWallUS = reg.Histogram("probe_pool_batch_wall_us", nil)
+	p.batches = reg.Counter("probe_pool_batches_total")
+}
+
+// Clock exposes the pool's virtual clock.
+func (p *Pool) Clock() *measure.Clock { return p.clock }
+
+// Now reads the pool's virtual clock (microseconds).
+func (p *Pool) Now() int64 { return p.clock.Now() }
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Counters snapshots the pool-wide probe tallies.
+func (p *Pool) Counters() measure.Counters {
+	return measure.Counters{
+		Ping:       p.ping.Load(),
+		RR:         p.rr.Load(),
+		SpoofRR:    p.spoofRR.Load(),
+		TS:         p.ts.Load(),
+		SpoofTS:    p.spoofTS.Load(),
+		Traceroute: p.traceroute.Load(),
+	}
+}
+
+// account records one issued spec in the pool-wide tallies.
+func (p *Pool) account(sp Request) {
+	switch sp.Kind {
+	case measure.KindPing:
+		p.ping.Add(1)
+	case measure.KindRR:
+		p.rr.Add(1)
+	case measure.KindSpoofedRR:
+		p.spoofRR.Add(1)
+	case measure.KindTS:
+		p.ts.Add(1)
+	case measure.KindSpoofedTS:
+		p.spoofTS.Add(1)
+	case measure.KindTraceroutePkt:
+		p.traceroute.Add(1)
+	}
+}
+
+// Do executes every request concurrently (bounded by the pool's worker
+// budget) at one virtual instant and returns when all launched requests
+// have completed. Every request is launched unless ctx is cancelled
+// first, so the result is deterministic for a deterministic fabric.
+func (p *Pool) Do(ctx context.Context, reqs []Request) Batch {
+	return p.run(ctx, reqs, nil)
+}
+
+// DoStop is Do with early cancellation: once a completed reply satisfies
+// stop, no further requests are launched (already-launched ones finish
+// and are reported). The set of launched requests then depends on
+// completion timing, so DoStop is for latency-sensitive callers that do
+// not need bit-reproducible probe counts.
+func (p *Pool) DoStop(ctx context.Context, reqs []Request, stop func(measure.Reply) bool) Batch {
+	return p.run(ctx, reqs, stop)
+}
+
+func (p *Pool) run(ctx context.Context, reqs []Request, stop func(measure.Reply) bool) Batch {
+	out := Batch{Replies: make([]measure.Reply, len(reqs))}
+	if len(reqs) == 0 {
+		return out
+	}
+	nowUS := p.clock.Now()
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	launched := 0
+	issue := func(i int) {
+		p.inFlight.Add(1)
+		rep := measure.Issue(p.F, reqs[i], nowUS)
+		p.inFlight.Add(-1)
+		out.Replies[i] = rep
+		if rep.Sent {
+			p.account(reqs[i])
+		}
+		if stop != nil && stop(rep) {
+			stopped.Store(true)
+		}
+	}
+	// Batches at or below inlineBatch execute sequentially on the
+	// caller's goroutine, occupying a single worker slot for the whole
+	// batch (like Traceroute): issuing a probe into the simulated fabric
+	// is a few microseconds of CPU, so goroutine fan-out only pays off
+	// for wide sweeps. Concurrency across measurements is unaffected
+	// (each caller is its own goroutine; the worker budget still
+	// applies), and because replies, counters, and virtual time are
+	// computed by request index either way, inline and fanned-out
+	// execution are bit-identical.
+	if len(reqs) <= inlineBatch || p.workers == 1 {
+		p.sem <- struct{}{}
+		for i := range reqs {
+			if (ctx != nil && ctx.Err() != nil) || stopped.Load() {
+				break
+			}
+			launched++
+			issue(i)
+		}
+		<-p.sem
+	} else {
+		for i := range reqs {
+			if (ctx != nil && ctx.Err() != nil) || stopped.Load() {
+				break
+			}
+			p.sem <- struct{}{}
+			// Re-check after a possibly long wait for a worker slot.
+			if (ctx != nil && ctx.Err() != nil) || stopped.Load() {
+				<-p.sem
+				break
+			}
+			launched++
+			// The caller's goroutine executes the batch's final request
+			// itself instead of idling in wg.Wait.
+			if i == len(reqs)-1 {
+				issue(i)
+				<-p.sem
+				break
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				issue(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	out.Skipped = len(reqs) - launched
+	for i := range out.Replies {
+		rep := &out.Replies[i]
+		if !rep.Sent {
+			continue
+		}
+		out.Sent = out.Sent.Add(reqs[i].Delta())
+		if rtt := rep.RTTUS(); rtt > out.MaxRTTUS {
+			out.MaxRTTUS = rtt
+		}
+	}
+	p.batches.Inc()
+	p.batchSize.Observe(int64(len(reqs)))
+	p.batchWallUS.Observe(out.MaxRTTUS)
+	return out
+}
+
+// Traceroute runs one pure Paris traceroute occupying a single worker
+// slot for its duration (a traceroute is inherently sequential: each
+// TTL's outcome decides whether to continue). seqBase reserves
+// measure.MaxTracerouteTTL sequence numbers. Returns the zero result
+// when ctx is already cancelled.
+func (p *Pool) Traceroute(ctx context.Context, a measure.Agent, dst ipv4.Addr, seqBase uint64) (measure.TracerouteResult, int) {
+	if ctx != nil && ctx.Err() != nil {
+		return measure.TracerouteResult{}, 0
+	}
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	p.inFlight.Add(1)
+	tr, sent := measure.RunTraceroute(p.F, a, dst, p.clock.Now(), seqBase)
+	p.inFlight.Add(-1)
+	p.traceroute.Add(uint64(sent))
+	return tr, sent
+}
+
+// One issues a single probe inline on the caller's goroutine (still
+// respecting the worker budget and the cancellation contract). It is the
+// fast path for the engine's serial probes — direct RR pings, timestamp
+// tests — between batched stages.
+func (p *Pool) One(ctx context.Context, req Request) measure.Reply {
+	if ctx != nil && ctx.Err() != nil {
+		return measure.Reply{}
+	}
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	p.inFlight.Add(1)
+	rep := measure.Issue(p.F, req, p.clock.Now())
+	p.inFlight.Add(-1)
+	if rep.Sent {
+		p.account(req)
+	}
+	return rep
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -14,14 +15,16 @@ import (
 // the simulated Internet, bootstrap checks RR reachability end to end,
 // and measurements run on the deployment's revtr 2.0 engine.
 //
-// The engine, its cache, and the shared prober are single-writer, so the
-// backend serializes all operations that touch them with mu. The service
-// layer above allows concurrent HTTP measurements; they queue here.
+// Measure runs lock-free: the engine submits probe batches through the
+// deployment's shared probe.Pool and is safe for concurrent use, so
+// concurrent HTTP measurements really do probe concurrently. Bootstrap
+// and atlas refresh still use the deployment's serial prober and atlas
+// service, which are single-writer; mu serializes only those.
 type DeploymentBackend struct {
 	D      *revtr.Deployment
 	Engine *core.Engine
 
-	mu sync.Mutex
+	mu sync.Mutex // guards the serial prober + atlas service paths
 }
 
 // NewDeploymentBackend wires a deployment with a revtr 2.0 engine.
@@ -59,11 +62,11 @@ func (b *DeploymentBackend) RegisterSource(addr ipv4.Addr) (core.Source, error) 
 	return core.Source{Agent: agent, Atlas: b.D.AtlasSvc.BuildFor(agent)}, nil
 }
 
-// Measure implements Backend.
-func (b *DeploymentBackend) Measure(src core.Source, dst ipv4.Addr) *core.Result {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.Engine.MeasureReverse(src, dst)
+// Measure implements Backend. The engine is safe for concurrent use and
+// checks ctx between measurement stages, so cancelled requests abort
+// in-flight work promptly.
+func (b *DeploymentBackend) Measure(ctx context.Context, src core.Source, dst ipv4.Addr) *core.Result {
+	return b.Engine.MeasureReverse(ctx, src, dst)
 }
 
 // RefreshAtlas implements Backend with the deployment's atlas service.

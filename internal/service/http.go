@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,13 @@ import (
 type API struct {
 	reg *Registry
 	mux *http.ServeMux
+
+	// MeasureTimeout caps the wall-clock time of each measurement in a
+	// POST /api/v1/revtr request when the request does not set its own
+	// timeoutMs. Zero means no server-imposed limit (the client can still
+	// abort by closing the connection: the request context propagates
+	// into the engine either way).
+	MeasureTimeout time.Duration
 }
 
 // NewAPI builds the HTTP handler over a registry.
@@ -160,6 +168,9 @@ func (a *API) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Src  string   `json:"src"`
 		Dsts []string `json:"dsts"`
+		// TimeoutMs caps each measurement's wall-clock time; 0 falls back
+		// to the server's MeasureTimeout.
+		TimeoutMs int64 `json:"timeoutMs"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
@@ -170,6 +181,10 @@ func (a *API) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad src address"})
 		return
 	}
+	timeout := a.MeasureTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
 	key := r.Header.Get("X-API-Key")
 	var out []*Measurement
 	for _, ds := range req.Dsts {
@@ -178,7 +193,16 @@ func (a *API) handleMeasure(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad dst address " + ds})
 			return
 		}
-		m, err := a.reg.Measure(key, src, dst)
+		// The request context propagates into the engine, so a client
+		// that disconnects aborts its in-flight probing. The per-
+		// measurement timeout stacks on top of it.
+		ctx := r.Context()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		m, err := a.reg.Measure(ctx, key, src, dst)
+		cancel()
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -221,7 +245,7 @@ func (a *API) handleNDT(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad address"})
 		return
 	}
-	m, err := a.reg.NDT(server, client)
+	m, err := a.reg.NDT(r.Context(), server, client)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -1,6 +1,8 @@
 package service_test
 
 import (
+	"context"
+
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -41,7 +43,7 @@ func (b *fakeBackend) RegisterSource(addr ipv4.Addr) (core.Source, error) {
 	return core.Source{Agent: measure.Agent{Addr: addr}, Atlas: a}, nil
 }
 
-func (b *fakeBackend) Measure(src core.Source, dst ipv4.Addr) *core.Result {
+func (b *fakeBackend) Measure(_ context.Context, src core.Source, dst ipv4.Addr) *core.Result {
 	b.mu.Lock()
 	p := b.panicNext
 	b.panicNext = false
@@ -56,7 +58,7 @@ func (b *fakeBackend) Measure(src core.Source, dst ipv4.Addr) *core.Result {
 	// detector can observe any unserialized access.
 	useful := 0
 	for i, e := range src.Atlas.Entries {
-		if e.Useful {
+		if e.WasUseful() {
 			useful++
 		}
 		if i%32 == 0 {
@@ -72,7 +74,7 @@ func (b *fakeBackend) RefreshAtlas(src core.Source) {
 	// and bump measurement times.
 	src.Atlas.ResetUseful()
 	for i, e := range src.Atlas.Entries {
-		e.Useful = true
+		e.MarkUseful()
 		e.MeasuredAtUS++
 		if i%32 == 0 {
 			runtime.Gosched()
@@ -104,7 +106,7 @@ func TestBackendPanicReleasesSlot(t *testing.T) {
 	dst, _ := ipv4.ParseAddr("10.0.0.2")
 
 	fb.armPanic()
-	m, err := reg.Measure(u.APIKey, srcAddr, dst)
+	m, err := reg.Measure(context.Background(), u.APIKey, srcAddr, dst)
 	if err != nil {
 		t.Fatalf("panic must surface as a failed measurement, got error %v", err)
 	}
@@ -114,7 +116,7 @@ func TestBackendPanicReleasesSlot(t *testing.T) {
 
 	// The single slot must be free again: a second measurement runs
 	// instead of returning ErrRateLimited forever.
-	m2, err := reg.Measure(u.APIKey, srcAddr, dst)
+	m2, err := reg.Measure(context.Background(), u.APIKey, srcAddr, dst)
 	if err != nil {
 		t.Fatalf("slot leaked: second measure failed with %v", err)
 	}
@@ -152,7 +154,7 @@ func TestConcurrentMeasureAndMaintenance(t *testing.T) {
 				if (g+i)%2 == 0 {
 					s = src2
 				}
-				if _, err := reg.Measure(u.APIKey, s, dst); err != nil {
+				if _, err := reg.Measure(context.Background(), u.APIKey, s, dst); err != nil {
 					t.Errorf("measure: %v", err)
 					return
 				}

@@ -9,6 +9,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
@@ -78,8 +79,9 @@ var (
 type Backend interface {
 	// RegisterSource bootstraps a source: RR reachability check + atlas.
 	RegisterSource(addr ipv4.Addr) (core.Source, error)
-	// Measure runs one reverse traceroute.
-	Measure(src core.Source, dst ipv4.Addr) *core.Result
+	// Measure runs one reverse traceroute. Implementations must honor ctx
+	// cancellation/deadline by returning promptly with a failed result.
+	Measure(ctx context.Context, src core.Source, dst ipv4.Addr) *core.Result
 	// RefreshAtlas re-measures a source's atlas (the daily Random++
 	// replacement of Appendix D.2).
 	RefreshAtlas(src core.Source)
@@ -212,11 +214,16 @@ func (r *Registry) Sources() []SourceInfo {
 }
 
 // Measure runs a reverse traceroute from dst to the registered source,
-// enforcing the user's quotas, and archives the result. A panicking
-// backend is surfaced as a measurement with status "failed" — and,
-// critically, releases the user's MaxParallel slot (the slot decrement
-// runs under defer, so no code path can leak it).
-func (r *Registry) Measure(key string, srcAddr, dstAddr ipv4.Addr) (*Measurement, error) {
+// enforcing the user's quotas, and archives the result. ctx aborts
+// in-flight probing: a cancelled or expired context makes the backend
+// return promptly with a failed measurement. A panicking backend is
+// surfaced as a measurement with status "failed" — and, critically, both
+// paths release the user's MaxParallel slot (the slot decrement runs
+// under defer, so no code path can leak it).
+func (r *Registry) Measure(ctx context.Context, key string, srcAddr, dstAddr ipv4.Addr) (*Measurement, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	u, err := r.Authenticate(key)
 	if err != nil {
 		return nil, err
@@ -244,9 +251,12 @@ func (r *Registry) Measure(key string, srcAddr, dstAddr ipv4.Addr) (*Measurement
 	}()
 
 	start := time.Now()
-	res := r.safeMeasure(reg, dstAddr)
+	res := r.safeMeasure(ctx, reg, dstAddr)
 	r.obs.Histogram("service_measure_wall_us", nil).Observe(time.Since(start).Microseconds())
 	r.obs.Counter("service_measure_total").Inc()
+	if ctx.Err() != nil {
+		r.obs.Counter("service_measure_cancelled_total").Inc()
+	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -278,7 +288,7 @@ func (r *Registry) Measure(key string, srcAddr, dstAddr ipv4.Addr) (*Measurement
 // lock shared (so DailyMaintenance cannot swap entries mid-measurement)
 // and converts a backend panic into a nil result instead of letting it
 // unwind through the service.
-func (r *Registry) safeMeasure(reg *registeredSource, dst ipv4.Addr) (res *core.Result) {
+func (r *Registry) safeMeasure(ctx context.Context, reg *registeredSource, dst ipv4.Addr) (res *core.Result) {
 	reg.atlasMu.RLock()
 	defer reg.atlasMu.RUnlock()
 	defer func() {
@@ -287,7 +297,7 @@ func (r *Registry) safeMeasure(reg *registeredSource, dst ipv4.Addr) (res *core.
 			res = nil
 		}
 	}()
-	return r.backend.Measure(reg.src, dst)
+	return r.backend.Measure(ctx, reg.src, dst)
 }
 
 // Get retrieves a stored measurement by ID.
@@ -355,7 +365,7 @@ func (r *Registry) UsefulEntries(addr ipv4.Addr) (useful, total int, ok bool) {
 	reg.atlasMu.RLock()
 	defer reg.atlasMu.RUnlock()
 	for _, e := range reg.src.Atlas.Entries {
-		if e.Useful {
+		if e.WasUseful() {
 			useful++
 		}
 	}
@@ -368,7 +378,10 @@ func (r *Registry) UsefulEntries(addr ipv4.Addr) (useful, total int, ok bool) {
 // that server (complementing M-Lab's forward traceroute). Acceptance
 // depends on system load, modelled as a simple in-flight cap; rejected
 // requests return (nil, nil) — they are best-effort by design.
-func (r *Registry) NDT(serverAddr, clientAddr ipv4.Addr) (*Measurement, error) {
+func (r *Registry) NDT(ctx context.Context, serverAddr, clientAddr ipv4.Addr) (*Measurement, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r.mu.Lock()
 	reg, ok := r.sources[serverAddr]
 	if !ok {
@@ -390,7 +403,7 @@ func (r *Registry) NDT(serverAddr, clientAddr ipv4.Addr) (*Measurement, error) {
 		r.mu.Unlock()
 	}()
 
-	res := r.safeMeasure(reg, clientAddr)
+	res := r.safeMeasure(ctx, reg, clientAddr)
 	r.obs.Counter("service_ndt_total").Inc()
 
 	r.mu.Lock()

@@ -11,14 +11,17 @@ import (
 	"revtr/internal/netsim/bgp"
 	"revtr/internal/netsim/fabric"
 	"revtr/internal/netsim/topology"
+	"revtr/internal/probe"
 	"revtr/internal/vantage"
 )
 
-// Env is a ready-to-probe simulated Internet.
+// Env is a ready-to-probe simulated Internet. Prober and Pool share one
+// clock, so serial and pooled probing see the same virtual time.
 type Env struct {
 	Topo   *topology.Topology
 	Fabric *fabric.Fabric
 	Prober *measure.Prober
+	Pool   *probe.Pool
 	Sites  []measure.Agent
 	Probes []*vantage.Probe
 	Alias  *alias.Combined
@@ -45,10 +48,12 @@ func NewWithConfig(t testing.TB, cfg topology.Config) *Env {
 	for i, s := range sites {
 		agents[i] = s.Agent
 	}
+	clock := measure.NewClock()
 	return &Env{
 		Topo:   topo,
 		Fabric: fab,
-		Prober: measure.NewProber(fab),
+		Prober: measure.NewProberWithClock(fab, clock),
+		Pool:   probe.New(fab, clock, 0),
 		Sites:  agents,
 		Probes: vantage.PlaceProbes(topo, 60, 1_000_000, seed),
 		Alias: &alias.Combined{

@@ -12,7 +12,7 @@
 //	dep := revtr.Build(revtr.DefaultConfig(500))
 //	src := dep.NewSource(dep.PickSourceHost(0))
 //	eng := dep.Engine(core.Revtr20Options())
-//	res := eng.MeasureReverse(src, dst)
+//	res := eng.MeasureReverse(context.Background(), src, dst)
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every table and figure.
@@ -32,6 +32,7 @@ import (
 	"revtr/internal/netsim/fabric"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/netsim/topology"
+	"revtr/internal/probe"
 	"revtr/internal/vantage"
 )
 
@@ -57,7 +58,11 @@ type Config struct {
 	// SkipSurvey skips the ingress survey (callers that never issue
 	// spoofed RR probes, or that run their own survey).
 	SkipSurvey bool
-	Seed       int64
+	// ProbeWorkers bounds the deployment's shared probe pool (0 =
+	// GOMAXPROCS): the number of probes in flight at once across all
+	// engines and measurements.
+	ProbeWorkers int
+	Seed         int64
 }
 
 // DefaultConfig returns a deployment sized for n ASes.
@@ -90,7 +95,14 @@ type Deployment struct {
 	Topo    *topology.Topology
 	Routing *bgp.Routing
 	Fabric  *fabric.Fabric
-	Prober  *measure.Prober
+	// Clock is the deployment-wide virtual clock, shared by the serial
+	// Prober (background services, eval) and the concurrent Pool.
+	Clock *measure.Clock
+	// Prober issues probes serially — background services and eval code.
+	Prober *measure.Prober
+	// Pool executes measurement probe batches concurrently; every engine
+	// built from this deployment shares it.
+	Pool *probe.Pool
 
 	Sites      []vantage.Site
 	SiteAgents []measure.Agent
@@ -118,7 +130,9 @@ func Build(cfg Config) *Deployment {
 	topo := topology.Generate(cfg.Topology)
 	routing := bgp.NewRouting(topo, bgp.DefaultTieBreak(cfg.Seed), 128)
 	fab := fabric.New(topo, routing, cfg.Seed)
-	prober := measure.NewProber(fab)
+	clock := measure.NewClock()
+	prober := measure.NewProberWithClock(fab, clock)
+	pool := probe.New(fab, clock, cfg.ProbeWorkers)
 
 	sites := vantage.PlaceSites(topo, cfg.Sites, cfg.Vintage, cfg.Seed)
 	agents := make([]measure.Agent, len(sites))
@@ -137,7 +151,9 @@ func Build(cfg Config) *Deployment {
 		Topo:       topo,
 		Routing:    routing,
 		Fabric:     fab,
+		Clock:      clock,
 		Prober:     prober,
+		Pool:       pool,
 		Sites:      sites,
 		SiteAgents: agents,
 		Probes:     probes,
@@ -250,7 +266,7 @@ func (d *Deployment) Engine(opts core.Options) *core.Engine {
 // EngineWithAdjacencies is Engine with an explicit adjacency provider
 // (the Appendix D.1 oracle experiments use this).
 func (d *Deployment) EngineWithAdjacencies(opts core.Options, adj core.AdjacencyProvider) *core.Engine {
-	return core.NewEngine(d.Fabric, d.Prober, d.IngressSvc, d.SiteAgents, d.Alias, d.Mapper, adj, opts)
+	return core.NewEngine(d.Fabric, d.Pool, d.IngressSvc, d.SiteAgents, d.Alias, d.Mapper, adj, opts)
 }
 
 // BuildAdjacencies assembles a traceroute-corpus adjacency dataset from n

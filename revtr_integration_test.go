@@ -1,6 +1,8 @@
 package revtr
 
 import (
+	"context"
+
 	"testing"
 
 	"revtr/internal/core"
@@ -44,7 +46,7 @@ func TestRevtr20EndToEnd(t *testing.T) {
 			continue
 		}
 		attempted++
-		res := eng.MeasureReverse(src, dst.Addr)
+		res := eng.MeasureReverse(context.Background(), src, dst.Addr)
 		if res.Status != core.StatusComplete {
 			continue
 		}
@@ -122,7 +124,7 @@ func TestRevtr10CompletesEverythingItCan(t *testing.T) {
 			continue
 		}
 		n++
-		res := eng.MeasureReverse(src, dests[i].Addr)
+		res := eng.MeasureReverse(context.Background(), src, dests[i].Addr)
 		if res.Status == core.StatusAborted {
 			aborted++
 		}
@@ -147,8 +149,8 @@ func TestRevtr20FewerProbesThan10(t *testing.T) {
 			continue
 		}
 		n++
-		r20 := e20.MeasureReverse(src, dests[i].Addr)
-		r10 := e10.MeasureReverse(src, dests[i].Addr)
+		r20 := e20.MeasureReverse(context.Background(), src, dests[i].Addr)
+		r10 := e10.MeasureReverse(context.Background(), src, dests[i].Addr)
 		p20 += r20.Probes.Total()
 		p10 += r10.Probes.Total()
 	}
@@ -166,8 +168,8 @@ func TestCacheReducesProbes(t *testing.T) {
 	if dst.AS == src.Agent.AS {
 		dst = d.OnePerPrefix()[11]
 	}
-	r1 := eng.MeasureReverse(src, dst.Addr)
-	r2 := eng.MeasureReverse(src, dst.Addr)
+	r1 := eng.MeasureReverse(context.Background(), src, dst.Addr)
+	r2 := eng.MeasureReverse(context.Background(), src, dst.Addr)
 	if r2.Probes.RR+r2.Probes.SpoofRR > r1.Probes.RR+r1.Probes.SpoofRR {
 		t.Errorf("second measurement used more RR probes (%d vs %d)",
 			r2.Probes.RR+r2.Probes.SpoofRR, r1.Probes.RR+r1.Probes.SpoofRR)
@@ -186,7 +188,7 @@ func TestAbortedMeansInterdomain(t *testing.T) {
 			continue
 		}
 		n++
-		res := eng.MeasureReverse(src, dests[i].Addr)
+		res := eng.MeasureReverse(context.Background(), src, dests[i].Addr)
 		if res.Status == core.StatusAborted {
 			sawAbort = true
 			if res.InterdomainAssumed > 0 {
@@ -206,7 +208,7 @@ func TestSpoofedBatchesCostTenSeconds(t *testing.T) {
 		if dests[i].AS == src.Agent.AS {
 			continue
 		}
-		res := eng.MeasureReverse(src, dests[i].Addr)
+		res := eng.MeasureReverse(context.Background(), src, dests[i].Addr)
 		if res.SpoofBatches > 0 {
 			if res.DurationUS < int64(res.SpoofBatches)*10_000_000 {
 				t.Fatalf("duration %dus < batches %d × 10s", res.DurationUS, res.SpoofBatches)
