@@ -1,10 +1,11 @@
 # Build / test entry points. `make ci` is what every PR must pass: vet
 # plus the full suite under the race detector (the service and campaign
-# layers are concurrent; -race is load-bearing, not optional).
+# layers are concurrent; -race is load-bearing, not optional), plus the
+# chaos suite under deterministic fault injection.
 
 GO ?= go
 
-.PHONY: build test short vet race ci bench
+.PHONY: build test short vet race ci bench chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -18,10 +19,26 @@ short:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order: the suites must not depend on
+# package-level execution order (chaos plans and fabrics are built per
+# test, so shuffling is free coverage).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
-ci: vet race bench
+ci: vet race bench chaos
+
+# chaos runs the fault-injection suites under -race: engine and campaign
+# measured over lossy links, rate-limited routers, flapping routes, and
+# blacked-out vantage points. The tests bake in 3 fault seeds x 2 loss
+# levels each; -count=1 defeats caching so every CI run re-rolls.
+chaos:
+	$(GO) test -race -run Chaos -count=1 ./internal/core/ ./internal/campaign/
+
+# fuzz gives each fuzz target a short budget: a smoke pass over the
+# parser/codec fuzzers, not a soak (lengthen locally with FUZZTIME).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) ./internal/netsim/faults/
 
 # bench in CI runs every benchmark once (-benchtime 1x): a smoke test
 # that the benchmarks still compile and run, not a performance gate.

@@ -20,9 +20,11 @@ import (
 	"revtr/internal/campaign"
 	"revtr/internal/core"
 	"revtr/internal/ip2as"
+	"revtr/internal/netsim/faults"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/netsim/topology"
 	"revtr/internal/obs"
+	"revtr/internal/probe"
 )
 
 func main() {
@@ -35,6 +37,16 @@ func main() {
 		maxDest = flag.Int("dests", 0, "cap destinations (0 = one per routed prefix)")
 		every   = flag.Int("progress-every", 500, "log live progress every N completed tasks (0 = off)")
 		dumpObs = flag.Bool("metrics", false, "print the observability registry (engine stages, cache, latency histograms) after the run")
+
+		faultSpec    = flag.String("faults", "", "fault plan spec, e.g. loss=0.01,icmp-frac=0.3,icmp-pass=0.5 (see internal/netsim/faults)")
+		faultLoss    = flag.Float64("fault-loss", 0, "per-link packet loss probability (overrides -faults)")
+		faultICMPFr  = flag.Float64("fault-icmp-frac", 0, "fraction of routers that ICMP-rate-limit (overrides -faults)")
+		faultICMPOK  = flag.Float64("fault-icmp-pass", 0, "steady-state pass probability at rate-limiting routers (overrides -faults)")
+		faultFlap    = flag.Float64("fault-flap", 0, "fraction of links mid route-flap per period (overrides -faults)")
+		faultVPOut   = flag.Int("fault-vp-outages", 0, "blackout this many spoof-capable non-source vantage point sites from t=0")
+		faultSeed    = flag.Uint64("fault-seed", 0, "fault plan seed (overrides -faults; 0 = keep)")
+		retries      = flag.Int("probe-retries", 0, "re-issue unanswered probes up to this many times (virtual-time backoff)")
+		retryBackoff = flag.Duration("probe-retry-backoff", 0, "delay before the first probe retry, doubling per retry (0 = default 50ms)")
 	)
 	flag.Parse()
 
@@ -44,6 +56,50 @@ func main() {
 	cfg.Topology.Seed = *seed
 	d := revtr.Build(cfg)
 	log.Printf("topology: %s", d.Topo.Stats())
+
+	// Fault injection attaches after Build: atlas and ingress survey are
+	// measured healthy, the campaign's measurements contend with faults.
+	plan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatalf("fault plan: %v", err)
+	}
+	if *faultLoss > 0 {
+		plan.LinkLoss = *faultLoss
+	}
+	if *faultICMPFr > 0 {
+		plan.ICMPFrac = *faultICMPFr
+	}
+	if *faultICMPOK > 0 {
+		plan.ICMPPass = *faultICMPOK
+	}
+	if *faultFlap > 0 {
+		plan.FlapFrac = *faultFlap
+	}
+	if *faultSeed != 0 {
+		plan.Seed = *faultSeed
+	}
+	if err := plan.Validate(); err != nil {
+		log.Fatalf("fault plan: %v", err)
+	}
+	if *faultVPOut > 0 {
+		// Black out spoof-capable sites that are not campaign sources, so
+		// the run exercises VP failover rather than just killing sources.
+		n := 0
+		for i := len(d.SiteAgents) - 1; i >= *sources && n < *faultVPOut; i-- {
+			if d.SiteAgents[i].CanSpoof {
+				plan.AddBlackout(d.SiteAgents[i].Addr, 0, 0)
+				n++
+			}
+		}
+		log.Printf("fault plan: %d vantage point sites blacked out", n)
+	}
+	if plan.Enabled() {
+		d.Fabric.SetFaults(plan)
+		log.Printf("fault plan active: %s", plan)
+	}
+	if *retries > 0 {
+		d.Pool.SetRetry(probe.RetryPolicy{Max: *retries, BackoffUS: retryBackoff.Microseconds()})
+	}
 
 	var srcs []core.Source
 	for i := 0; i < *sources && i < len(d.SiteAgents); i++ {
@@ -66,6 +122,7 @@ func main() {
 		asCovered = map[topology.ASN]bool{}
 	)
 	obsReg := obs.New()
+	plan.SetObs(obsReg)
 	start := time.Now()
 	r := &campaign.Runner{
 		D: d, Sources: srcs, Opts: core.Revtr20Options(), Workers: *workers,
@@ -112,6 +169,11 @@ func main() {
 		len(asCovered), len(d.Topo.ASes), 100*float64(len(asCovered))/float64(len(d.Topo.ASes)))
 	if sum.Invalid > 0 {
 		fmt.Printf("invalid tasks:         %d (rejected up front, counted as failed)\n", sum.Invalid)
+	}
+	if plan.Enabled() {
+		fmt.Printf("faults injected:       %d (link-loss=%d icmp-limit=%d blackout=%d flap=%d)\n",
+			plan.Total(), plan.Count(faults.KindLinkLoss), plan.Count(faults.KindRateLimit),
+			plan.Count(faults.KindBlackout), plan.Count(faults.KindFlap))
 	}
 	fmt.Printf("wall time:             %.1fs (%.0f revtr/s on this machine)\n",
 		wall.Seconds(), float64(sum.Attempted)/wall.Seconds())

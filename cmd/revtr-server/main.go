@@ -29,8 +29,39 @@ import (
 
 	"revtr"
 	"revtr/internal/core"
+	"revtr/internal/netsim/faults"
+	"revtr/internal/probe"
 	"revtr/internal/service"
 )
+
+// buildFaultPlan assembles the fault plan from the -faults spec string
+// overlaid with the individual -fault-* flags. Returns nil when nothing
+// is enabled.
+func buildFaultPlan(spec string, loss, icmpFrac, icmpPass, flap float64, fseed uint64) (*faults.Plan, error) {
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if loss > 0 {
+		plan.LinkLoss = loss
+	}
+	if icmpFrac > 0 {
+		plan.ICMPFrac = icmpFrac
+	}
+	if icmpPass > 0 {
+		plan.ICMPPass = icmpPass
+	}
+	if flap > 0 {
+		plan.FlapFrac = flap
+	}
+	if fseed != 0 {
+		plan.Seed = fseed
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
 
 func main() {
 	var (
@@ -41,6 +72,15 @@ func main() {
 		sites        = flag.Int("sites", 30, "vantage point sites")
 		probeWorkers = flag.Int("probe-workers", 0, "concurrent probes in the shared probe pool (0 = GOMAXPROCS)")
 		measureTO    = flag.Duration("measure-timeout", 0, "per-measurement wall-clock cap when a request sets no timeoutMs (0 = none)")
+		faultSpec    = flag.String("faults", "", "fault plan spec, e.g. loss=0.01,icmp-frac=0.3,icmp-pass=0.5 (see internal/netsim/faults)")
+		faultLoss    = flag.Float64("fault-loss", 0, "per-link packet loss probability (overrides -faults)")
+		faultICMPFr  = flag.Float64("fault-icmp-frac", 0, "fraction of routers that ICMP-rate-limit (overrides -faults)")
+		faultICMPOK  = flag.Float64("fault-icmp-pass", 0, "steady-state pass probability at rate-limiting routers (overrides -faults)")
+		faultFlap    = flag.Float64("fault-flap", 0, "fraction of links mid route-flap per period (overrides -faults)")
+		faultVPOut   = flag.Int("fault-vp-outages", 0, "blackout this many spoof-capable vantage point sites from t=0")
+		faultSeed    = flag.Uint64("fault-seed", 0, "fault plan seed (overrides -faults; 0 = keep)")
+		retries      = flag.Int("probe-retries", 0, "re-issue unanswered probes up to this many times (virtual-time backoff)")
+		retryBackoff = flag.Duration("probe-retry-backoff", 0, "delay before the first probe retry, doubling per retry (0 = default 50ms)")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bulk measurements take a while)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
@@ -57,14 +97,40 @@ func main() {
 	log.Printf("topology: %s", d.Topo.Stats())
 	log.Printf("background probes consumed: %d", d.BackgroundProbes.Total())
 
+	// Fault injection attaches after Build, so the atlas and ingress
+	// survey are measured on a healthy network and only live measurements
+	// contend with the injected faults.
+	plan, err := buildFaultPlan(*faultSpec, *faultLoss, *faultICMPFr, *faultICMPOK, *faultFlap, *faultSeed)
+	if err != nil {
+		log.Fatalf("fault plan: %v", err)
+	}
+	if *faultVPOut > 0 {
+		n := 0
+		for i := len(d.SiteAgents) - 1; i >= 0 && n < *faultVPOut; i-- {
+			if d.SiteAgents[i].CanSpoof {
+				plan.AddBlackout(d.SiteAgents[i].Addr, 0, 0)
+				n++
+			}
+		}
+		log.Printf("fault plan: %d vantage point sites blacked out", n)
+	}
+	if plan.Enabled() {
+		d.Fabric.SetFaults(plan)
+		log.Printf("fault plan active: %s", plan)
+	}
+	if *retries > 0 {
+		d.Pool.SetRetry(probe.RetryPolicy{Max: *retries, BackoffUS: retryBackoff.Microseconds()})
+	}
+
 	backend := service.NewDeploymentBackend(d)
 	reg := service.NewRegistry(backend, *adminKey)
 	// Engine metrics land in the same registry the service renders on
 	// GET /metrics, so per-stage engine accounting is live from request 1.
 	backend.Engine.SetMetrics(core.NewMetrics(reg.Obs()))
 	// Pool metrics (in-flight probes, batch sizes/latencies) land next to
-	// the engine's on GET /metrics.
+	// the engine's on GET /metrics, as do fault-injection tallies.
 	d.Pool.SetObs(reg.Obs())
+	plan.SetObs(reg.Obs())
 	api := service.NewAPI(reg)
 	api.MeasureTimeout = *measureTO
 

@@ -170,6 +170,7 @@ func (r *Runner) Run(tasks []Task) Summary {
 	pool := r.D.Pool
 	if r.ProbeWorkers > 0 {
 		pool = probe.New(r.D.Fabric, r.D.Clock, r.ProbeWorkers)
+		pool.SetRetry(r.D.Pool.Retry())
 	}
 	if r.Obs != nil {
 		pool.SetObs(r.Obs)

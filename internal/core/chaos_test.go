@@ -1,0 +1,242 @@
+package core_test
+
+// Chaos suite: the engine under a deterministic fault plan — random link
+// loss, ICMP rate limiting, route flaps, and vantage-point blackouts —
+// must not panic, must keep probe accounting consistent, must stay
+// bit-identical across worker counts, and must degrade monotonically
+// (never hang) as loss climbs. Run with -race; `make chaos` does.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"revtr/internal/atlas"
+	"revtr/internal/core"
+	"revtr/internal/ingress"
+	"revtr/internal/ip2as"
+	"revtr/internal/measure"
+	"revtr/internal/netsim/faults"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
+	"revtr/internal/probe"
+	"revtr/internal/simtest"
+)
+
+// chaosEnv builds the full measurement stack over a healthy fabric —
+// the ingress survey and atlas are measured fault-free, mirroring the
+// binaries where faults attach after Build — and returns the pieces a
+// chaos test needs to attach its own plan and engines.
+type chaosEnv struct {
+	env  *simtest.Env
+	ing  *ingress.Service
+	src  core.Source
+	dsts []ipv4.Addr
+}
+
+func newChaosEnv(t testing.TB, seed int64, nDsts int) *chaosEnv {
+	t.Helper()
+	env := simtest.New(t, 300, seed)
+	ing := ingress.NewService(env.Prober, env.Sites, ingress.AllHeuristics, 8)
+	ing.Survey(env.Topo.AllBGPPrefixes(), func(pfx ipv4.Prefix) []ipv4.Addr {
+		asn, ok := env.Topo.BlockAS(pfx.Addr)
+		if !ok {
+			return nil
+		}
+		var out []ipv4.Addr
+		if pfx.Bits == 24 {
+			for _, hid := range env.Topo.ASes[asn].Hosts {
+				h := &env.Topo.Hosts[hid]
+				if pfx.Contains(h.Addr) && h.PingResponsive {
+					out = append(out, h.Addr)
+					if len(out) == 2 {
+						break
+					}
+				}
+			}
+		} else {
+			for _, rid := range env.Topo.ASes[asn].Routers {
+				r := env.Topo.Routers[rid]
+				if r.RespondsToPing && r.RespondsToOptions {
+					out = append(out, r.Loopback)
+					if len(out) == 2 {
+						break
+					}
+				}
+			}
+		}
+		return out
+	})
+	srcAgent := env.Agent(env.SourceHost(0))
+	svc := atlas.NewService(env.Prober, env.Probes, atlas.FixedSites(env.Sites), env.Alias, 25, true, 8)
+	src := core.Source{Agent: srcAgent, Atlas: svc.BuildFor(srcAgent)}
+
+	var dsts []ipv4.Addr
+	for i := 0; len(dsts) < nDsts; i++ {
+		d := env.ResponsiveHost(i*2, srcAgent.AS)
+		if d == nil {
+			break
+		}
+		dsts = append(dsts, d.Addr)
+	}
+	if len(dsts) == 0 {
+		t.Fatal("no destinations")
+	}
+	return &chaosEnv{env: env, ing: ing, src: src, dsts: dsts}
+}
+
+// engine builds a fresh engine (own cache, own pool with the given
+// worker count) over the environment's fabric and shared clock.
+func (c *chaosEnv) engine(workers int, pol probe.RetryPolicy) (*core.Engine, *probe.Pool) {
+	pool := probe.New(c.env.Fabric, c.env.Pool.Clock(), workers)
+	pool.SetRetry(pol)
+	eng := core.NewEngine(c.env.Fabric, pool, c.ing, c.env.Sites, c.env.Alias,
+		ip2as.Origin{Topo: c.env.Topo}, nil, core.Revtr20Options())
+	return eng, pool
+}
+
+// renderCoreResult flattens a result into a comparable string: status,
+// probe counters, and every hop address and technique in order.
+func renderCoreResult(res *core.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v sym=%d probes=%+v", res.Status, res.SymAssumed, res.Probes)
+	for _, h := range res.Hops {
+		fmt.Fprintf(&sb, " %s/%v", h.Addr, h.Tech)
+	}
+	return sb.String()
+}
+
+// TestChaosAccountingConsistent: across seeds and loss levels, the sum
+// of per-measurement probe budgets equals the pool's aggregate counters
+// — retries, rate-limited drops, and VP failovers are all charged in
+// exactly one place. Also the basic no-panic/no-hang smoke.
+func TestChaosAccountingConsistent(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, loss := range []float64{0.02, 0.2} {
+			t.Run(fmt.Sprintf("seed%d/loss%g", seed, loss), func(t *testing.T) {
+				c := newChaosEnv(t, seed, 8)
+				c.env.Fabric.SetFaults(&faults.Plan{
+					Seed: uint64(seed), LinkLoss: loss, ICMPFrac: 0.3, ICMPPass: 0.5,
+				})
+				eng, pool := c.engine(4, probe.RetryPolicy{Max: 2})
+				var sum measure.Counters
+				for _, dst := range c.dsts {
+					res := eng.MeasureReverse(context.Background(), c.src, dst)
+					if res.Status != core.StatusComplete && res.Status != core.StatusAborted &&
+						res.Status != core.StatusFailed {
+						t.Fatalf("dst %s: invalid status %v", dst, res.Status)
+					}
+					sum = sum.Add(res.Probes)
+				}
+				if got := pool.Counters(); got != sum {
+					t.Fatalf("accounting drift: pool issued %+v, measurements charged %+v", got, sum)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosWorkerBitIdentity: under one fixed fault plan, the full
+// per-destination results (status, hops, techniques, probe budgets) are
+// bit-identical between a serial engine and an 8-worker engine. Fault
+// decisions are pure functions of (plan seed, entity, virtual time,
+// nonce), so concurrency must not leak into outcomes.
+func TestChaosWorkerBitIdentity(t *testing.T) {
+	for _, seed := range []int64{2, 5} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := newChaosEnv(t, seed, 8)
+			c.env.Fabric.SetFaults(&faults.Plan{
+				Seed: 99, LinkLoss: 0.15, ICMPFrac: 0.4, ICMPPass: 0.4, FlapFrac: 0.05,
+			})
+			pol := probe.RetryPolicy{Max: 2, BackoffUS: 30_000}
+			run := func(workers int) []string {
+				eng, _ := c.engine(workers, pol)
+				out := make([]string, len(c.dsts))
+				for i, dst := range c.dsts {
+					res := eng.MeasureReverse(context.Background(), c.src, dst)
+					out[i] = renderCoreResult(res)
+				}
+				return out
+			}
+			serial, parallel := run(1), run(8)
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Errorf("dst %s diverged:\n  workers=1: %s\n  workers=8: %s",
+						c.dsts[i], serial[i], parallel[i])
+				}
+			}
+		})
+	}
+}
+
+// TestChaosMonotoneCompletion: completions aggregated over seeds must
+// not increase as loss climbs, and even at 95%% loss every measurement
+// still terminates with a valid status (graceful degradation, no hangs).
+func TestChaosMonotoneCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-level sweep")
+	}
+	losses := []float64{0, 0.25, 0.6, 0.95}
+	complete := make([]int, len(losses))
+	for _, seed := range []int64{1, 2, 3} {
+		c := newChaosEnv(t, seed, 6)
+		for li, loss := range losses {
+			c.env.Fabric.SetFaults(&faults.Plan{Seed: uint64(seed), LinkLoss: loss})
+			eng, _ := c.engine(4, probe.RetryPolicy{Max: 1})
+			for _, dst := range c.dsts {
+				res := eng.MeasureReverse(context.Background(), c.src, dst)
+				if res.Status == core.StatusComplete {
+					complete[li]++
+				}
+			}
+		}
+	}
+	t.Logf("completions by loss level %v: %v", losses, complete)
+	if complete[0] == 0 {
+		t.Fatal("nothing completed even fault-free")
+	}
+	for i := 1; i < len(complete); i++ {
+		if complete[i] > complete[i-1] {
+			t.Errorf("completions rose from %d to %d as loss climbed %g -> %g",
+				complete[i-1], complete[i], losses[i-1], losses[i])
+		}
+	}
+}
+
+// TestChaosVPFailoverDegrades: with every spoof-capable non-source site
+// blacked out, spoofed stages hit dead vantage points; the engine must
+// record failovers, never charge dead VPs to the budget, and still
+// finish every measurement.
+func TestChaosVPFailoverDegrades(t *testing.T) {
+	c := newChaosEnv(t, 8, 10)
+	plan := &faults.Plan{}
+	for _, site := range c.env.Sites {
+		if site.CanSpoof && site.Addr != c.src.Agent.Addr {
+			plan.AddBlackout(site.Addr, 0, 0)
+		}
+	}
+	if len(plan.Blackouts) == 0 {
+		t.Skip("no spoof-capable non-source sites in this seed")
+	}
+	c.env.Fabric.SetFaults(plan)
+	eng, _ := c.engine(4, probe.RetryPolicy{})
+	reg := obs.New()
+	eng.SetMetrics(core.NewMetrics(reg))
+	for _, dst := range c.dsts {
+		res := eng.MeasureReverse(context.Background(), c.src, dst)
+		if res.Status != core.StatusComplete && res.Status != core.StatusAborted &&
+			res.Status != core.StatusFailed {
+			t.Fatalf("dst %s: invalid status %v", dst, res.Status)
+		}
+	}
+	failovers := reg.Counter("vp_failover_total").Value()
+	spoofBatches := reg.Counter("engine_spoof_batches_total").Value()
+	if spoofBatches > 0 && failovers == 0 {
+		t.Fatalf("%d spoofed batches ran against all-dead vantage points without a recorded failover", spoofBatches)
+	}
+	if spoofBatches == 0 {
+		t.Skip("no measurement reached a spoofed stage under this seed")
+	}
+	t.Logf("vp failovers: %d over %d spoofed batches", failovers, spoofBatches)
+}

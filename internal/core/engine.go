@@ -171,6 +171,39 @@ type mctx struct {
 	ctx   context.Context
 	count measure.Counters
 	seq   uint64
+	// dead is the set of vantage points observed blacked out during this
+	// measurement. It is per-measurement (not shared engine state) so the
+	// failover decisions stay deterministic: a VP is skipped only after
+	// this measurement itself saw it dead, never because a concurrent
+	// measurement did.
+	dead map[ipv4.Addr]bool
+}
+
+// isDead reports whether this measurement saw the VP at a blacked out.
+func (m *mctx) isDead(a ipv4.Addr) bool { return m.dead[a] }
+
+// markDead remembers that the VP at a is blacked out.
+func (m *mctx) markDead(a ipv4.Addr) {
+	if m.dead == nil {
+		m.dead = make(map[ipv4.Addr]bool)
+	}
+	m.dead[a] = true
+}
+
+// retryPolicy resolves the measurement retry policy: the engine's
+// Options budget when set, else the pool's default.
+func (e *Engine) retryPolicy() probe.RetryPolicy {
+	switch {
+	case e.Opts.ProbeRetries > 0:
+		return probe.RetryPolicy{
+			Max:          e.Opts.ProbeRetries,
+			BackoffUS:    e.Opts.RetryBackoffUS,
+			MaxBackoffUS: e.Opts.RetryMaxBackoffUS,
+		}
+	case e.Opts.ProbeRetries < 0:
+		return probe.RetryPolicy{}
+	}
+	return e.Pool.Retry()
 }
 
 // next allocates the next probe sequence number.
@@ -187,31 +220,34 @@ func (m *mctx) reserve(n int) uint64 {
 	return base
 }
 
-// rrPing issues one direct Record Route ping through the pool.
+// rrPing issues one direct Record Route ping through the pool (as a
+// single-request batch, so the measurement retry policy applies and the
+// batch's Sent tally charges every attempt).
 func (e *Engine) rrPing(m *mctx, a measure.Agent, dst ipv4.Addr) measure.RRResult {
-	rep := e.Pool.One(m.ctx, probe.Request{Kind: measure.KindRR, VP: a, Dst: dst, Seq: m.next()})
-	if rep.Sent {
-		m.count = m.count.Add(measure.Counters{RR: 1})
-	}
-	return rep.RR
+	b := e.Pool.DoPolicy(m.ctx,
+		[]probe.Request{{Kind: measure.KindRR, VP: a, Dst: dst, Seq: m.next()}}, e.retryPolicy())
+	m.count = m.count.Add(b.Sent)
+	return b.Replies[0].RR
 }
 
 // tsPing issues one direct tsprespec Timestamp ping through the pool.
 func (e *Engine) tsPing(m *mctx, a measure.Agent, dst ipv4.Addr, prespec []ipv4.Addr) measure.TSResult {
-	rep := e.Pool.One(m.ctx, probe.Request{Kind: measure.KindTS, VP: a, Dst: dst, Prespec: prespec, Seq: m.next()})
-	if rep.Sent {
-		m.count = m.count.Add(measure.Counters{TS: 1})
-	}
-	return rep.TS
+	b := e.Pool.DoPolicy(m.ctx,
+		[]probe.Request{{Kind: measure.KindTS, VP: a, Dst: dst, Prespec: prespec, Seq: m.next()}}, e.retryPolicy())
+	m.count = m.count.Add(b.Sent)
+	return b.Replies[0].TS
 }
 
 // spoofedTSPing issues one spoofed Timestamp ping through the pool.
 func (e *Engine) spoofedTSPing(m *mctx, vp measure.Agent, src, dst ipv4.Addr, prespec []ipv4.Addr) measure.TSResult {
-	rep := e.Pool.One(m.ctx, probe.Request{Kind: measure.KindSpoofedTS, VP: vp, Src: src, Dst: dst, Prespec: prespec, Seq: m.next()})
-	if rep.Sent {
-		m.count = m.count.Add(measure.Counters{SpoofTS: 1})
+	b := e.Pool.DoPolicy(m.ctx,
+		[]probe.Request{{Kind: measure.KindSpoofedTS, VP: vp, Src: src, Dst: dst, Prespec: prespec, Seq: m.next()}}, e.retryPolicy())
+	m.count = m.count.Add(b.Sent)
+	if b.Replies[0].VPDead {
+		m.markDead(vp.Addr)
+		e.metrics.vpFailover()
 	}
-	return rep.TS
+	return b.Replies[0].TS
 }
 
 // MeasureReverse measures the reverse path from dst back to src,
@@ -467,29 +503,53 @@ func (e *Engine) revealRR(m *mctx, src Source, cur ipv4.Addr) revealed {
 	}
 	plan := e.Ingress.PlanFor(pfx, e.Opts.VPSelection)
 	tried := 0
-	for start := 0; start < len(plan.Order); start += e.Opts.BatchSize {
+	cursor := 0
+	for cursor < len(plan.Order) {
 		if m.ctx.Err() != nil {
 			return out
 		}
-		end := min(start+e.Opts.BatchSize, len(plan.Order))
-		reqs := make([]probe.Request, 0, end-start)
-		for _, si := range plan.Order[start:end] {
-			site := e.Sites[si]
-			if site.Addr == src.Agent.Addr {
-				continue // that would be the direct probe again
+		// Build the next batch from the §4.3 ingress order, skipping the
+		// source and any VP this measurement already saw blacked out, and
+		// backfilling from further down the order so a dead VP costs its
+		// slot, not the whole batch (graceful degradation).
+		reqs := make([]probe.Request, 0, e.Opts.BatchSize)
+		vps := make([]measure.Agent, 0, e.Opts.BatchSize)
+		for cursor < len(plan.Order) && len(reqs) < e.Opts.BatchSize {
+			site := e.Sites[plan.Order[cursor]]
+			cursor++
+			if site.Addr == src.Agent.Addr { // that would be the direct probe again
+				continue
+			}
+			if m.isDead(site.Addr) {
+				continue
 			}
 			reqs = append(reqs, probe.Request{
 				Kind: measure.KindSpoofedRR, VP: site,
 				Src: src.Agent.Addr, Dst: cur, Seq: m.next(),
 			})
+			vps = append(vps, site)
+		}
+		if len(reqs) == 0 {
+			break
 		}
 		out.batches++
 		out.elapsedUS += e.Opts.SpoofTimeoutUS
-		b := e.Pool.Do(m.ctx, reqs)
+		b := e.Pool.DoPolicy(m.ctx, reqs, e.retryPolicy())
 		m.count = m.count.Add(b.Sent)
-		tried += len(reqs) - b.Skipped
+		deadHere := 0
 		var best []ipv4.Addr
-		for _, rep := range b.Replies {
+		for i, rep := range b.Replies {
+			if rep.VPDead {
+				// The VP could not send at all: remember it and fail over
+				// to the next-closest VP in the ingress order instead of
+				// charging the attempt against the spoof budget.
+				m.markDead(vps[i].Addr)
+				e.metrics.vpFailover()
+				deadHere++
+				e.debug(src, cur, "spoof-rr", "vantage point dead, failing over",
+					"vp", vps[i].Addr.String())
+				continue
+			}
 			if !rep.RR.Responded {
 				continue
 			}
@@ -497,6 +557,7 @@ func (e *Engine) revealRR(m *mctx, src Source, cur ipv4.Addr) revealed {
 				best = hops
 			}
 		}
+		tried += len(reqs) - b.Skipped - deadHere
 		if len(best) > 0 {
 			out.hops, out.tech = best, TechSpoofRR
 			if e.Opts.UseCache {
@@ -509,6 +570,17 @@ func (e *Engine) revealRR(m *mctx, src Source, cur ipv4.Addr) revealed {
 		}
 	}
 	return out
+}
+
+// firstLiveVP returns the first vantage point in the §4.3 ingress order
+// this measurement has not seen blacked out.
+func (e *Engine) firstLiveVP(m *mctx, order []int) (measure.Agent, bool) {
+	for _, si := range order {
+		if site := e.Sites[si]; !m.isDead(site.Addr) {
+			return site, true
+		}
+	}
+	return measure.Agent{}, false
 }
 
 // checkDBR implements Appendix E's optional redundancy: re-reveal the
@@ -525,7 +597,7 @@ func (e *Engine) checkDBR(m *mctx, src Source, cur, firstNext ipv4.Addr) (bool, 
 	for k := range direct {
 		direct[k] = probe.Request{Kind: measure.KindRR, VP: src.Agent, Dst: cur, Seq: m.next()}
 	}
-	b := e.Pool.Do(m.ctx, direct)
+	b := e.Pool.DoPolicy(m.ctx, direct, e.retryPolicy())
 	m.count = m.count.Add(b.Sent)
 	elapsed := b.MaxRTTUS
 
@@ -541,11 +613,12 @@ func (e *Engine) checkDBR(m *mctx, src Source, cur, firstNext ipv4.Addr) (bool, 
 				continue
 			}
 			plan := e.Ingress.PlanFor(pfx, e.Opts.VPSelection)
-			if len(plan.Order) == 0 {
+			vp, ok := e.firstLiveVP(m, plan.Order)
+			if !ok {
 				continue
 			}
 			fallback = append(fallback, probe.Request{
-				Kind: measure.KindSpoofedRR, VP: e.Sites[plan.Order[0]],
+				Kind: measure.KindSpoofedRR, VP: vp,
 				Src: src.Agent.Addr, Dst: cur, Seq: m.next(),
 			})
 			continue
@@ -554,10 +627,15 @@ func (e *Engine) checkDBR(m *mctx, src Source, cur, firstNext ipv4.Addr) (bool, 
 		observed[hops[0]] = true
 	}
 	if len(fallback) > 0 {
-		fb := e.Pool.Do(m.ctx, fallback)
+		fb := e.Pool.DoPolicy(m.ctx, fallback, e.retryPolicy())
 		m.count = m.count.Add(fb.Sent)
 		elapsed += fb.MaxRTTUS
-		for _, rep := range fb.Replies {
+		for i, rep := range fb.Replies {
+			if rep.VPDead {
+				m.markDead(fallback[i].VP.Addr)
+				e.metrics.vpFailover()
+				continue
+			}
 			if hops := extractReverse(rep.RR.Recorded, cur, e.Alias); len(hops) > 0 {
 				got++
 				observed[hops[0]] = true
@@ -595,7 +673,7 @@ func (e *Engine) tryTimestamp(m *mctx, src Source, cur ipv4.Addr) (ipv4.Addr, in
 			// Some hops only answer options probes arriving on other
 			// paths; try once spoofed from a site (Table 4's spoof-TS).
 			for _, site := range e.Sites {
-				if !site.CanSpoof || site.Addr == src.Agent.Addr {
+				if !site.CanSpoof || site.Addr == src.Agent.Addr || m.isDead(site.Addr) {
 					continue
 				}
 				ts = e.spoofedTSPing(m, site, src.Agent.Addr, cur, []ipv4.Addr{cur, adj})

@@ -31,6 +31,10 @@ type Metrics struct {
 	// 10 s timeout in virtual time, §5.2.4).
 	SpoofBatches *obs.Counter
 
+	// VPFailover counts probes redirected to another vantage point after
+	// the planned VP was observed inside a blackout window.
+	VPFailover *obs.Counter
+
 	// Cache accounting (Insight 1.4 reuse).
 	CacheHitRR     *obs.Counter
 	CacheMissRR    *obs.Counter
@@ -61,6 +65,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Failed:   reg.Counter("engine_measure_failed_total"),
 
 		SpoofBatches: reg.Counter("engine_spoof_batches_total"),
+		VPFailover:   reg.Counter("vp_failover_total"),
 
 		CacheHitRR:     reg.Counter("engine_cache_rr_hits_total"),
 		CacheMissRR:    reg.Counter("engine_cache_rr_misses_total"),
@@ -91,6 +96,14 @@ func (m *Metrics) stage(t Technique) {
 	case TechSymmetry:
 		m.StageSym.Inc()
 	}
+}
+
+// vpFailover records one dead-VP failover.
+func (m *Metrics) vpFailover() {
+	if m == nil {
+		return
+	}
+	m.VPFailover.Inc()
 }
 
 // symmetry records one symmetry assumption.

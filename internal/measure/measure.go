@@ -72,6 +72,19 @@ func (c Counters) Add(other Counters) Counters {
 	}
 }
 
+// Scale returns c with every column multiplied by n (retry accounting:
+// n attempts of one spec cost n times its Delta).
+func (c Counters) Scale(n uint64) Counters {
+	return Counters{
+		Ping:       c.Ping * n,
+		RR:         c.RR * n,
+		SpoofRR:    c.SpoofRR * n,
+		TS:         c.TS * n,
+		SpoofTS:    c.SpoofTS * n,
+		Traceroute: c.Traceroute * n,
+	}
+}
+
 // Sub returns c minus other.
 func (c Counters) Sub(other Counters) Counters {
 	return Counters{

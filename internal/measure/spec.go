@@ -104,9 +104,14 @@ func (sp Spec) Delta() Counters {
 // accounted.
 type Reply struct {
 	Sent bool
-	Ping PingResult
-	RR   RRResult
-	TS   TSResult
+	// VPDead reports that the probe was suppressed because the vantage
+	// point is inside a scheduled blackout window (injected faults): the
+	// VP cannot put packets on the wire at all. Always pairs with
+	// Sent == false; the engine uses it to fail over to another VP.
+	VPDead bool
+	Ping   PingResult
+	RR     RRResult
+	TS     TSResult
 	// Hop, EchoReply, and Delivered carry KindTraceroutePkt outcomes
 	// (Delivered distinguishes an undecodable reply from silence: only
 	// silence advances the traceroute's give-up counter).
@@ -156,6 +161,9 @@ func probeKey(sp Spec) (id uint16, nonce uint64) {
 // decodes the reply. It is a pure function of its arguments (the fabric's
 // own statistics counters aside) and is safe to call concurrently.
 func Issue(f *fabric.Fabric, sp Spec, nowUS int64) Reply {
+	if f.VPDown(sp.VP.Addr, nowUS) {
+		return Reply{VPDead: true}
+	}
 	switch sp.Kind {
 	case KindPing:
 		return issuePing(f, sp, nowUS)
@@ -281,11 +289,13 @@ func RunTraceroute(f *fabric.Fabric, a Agent, dst ipv4.Addr, nowUS int64, seqBas
 	sent := 0
 	silent := 0
 	for ttl := 1; ttl <= MaxTracerouteTTL; ttl++ {
-		sent++
 		rep := Issue(f, Spec{
 			Kind: KindTraceroutePkt, VP: a, Dst: dst,
 			TTL: uint8(ttl), Seq: seqBase + uint64(ttl),
 		}, nowUS)
+		if rep.Sent {
+			sent++
+		}
 		if !rep.Delivered {
 			out.Hops = append(out.Hops, TracerouteHop{})
 			silent++

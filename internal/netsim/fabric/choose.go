@@ -104,7 +104,7 @@ func (f *Fabric) egressToward(cur topology.RouterID, nextAS topology.ASN, dst, s
 	var cands []cand
 	best := int32(1 << 30)
 	for _, l := range nb.Link {
-		if topo.Links[l].Down {
+		if topo.Links[l].Down || f.faults.LinkFlapped(l, c.tUS) {
 			continue
 		}
 		b := f.borderEnd(l, r.AS)
@@ -173,7 +173,7 @@ func (f *Fabric) pickAnycastAlt(cur topology.RouterID, g *AnycastGroup, rt *bgp.
 			}
 		} else if nb := topo.ASes[curAS].Neighbor(alt.Next); nb != nil {
 			for _, l := range nb.Link {
-				if topo.Links[l].Down {
+				if topo.Links[l].Down || f.faults.LinkFlapped(l, c.tUS) {
 					continue
 				}
 				b := f.borderEnd(l, curAS)

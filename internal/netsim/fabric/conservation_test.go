@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"revtr/internal/netsim/bgp"
+	"revtr/internal/netsim/faults"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+// conservationWorkload injects an assortment of packets chosen to reach
+// every terminal path of walk: plain pings, RR pings (option filtering,
+// router RR policies), TTL-limited probes (time exceeded), spoofed
+// sources, pings to router infrastructure addresses, and probes to dark
+// addresses (carried to the block owner and dropped).
+func conservationWorkload(f *Fabric, hosts []*topology.Host) {
+	nonce := uint64(1)
+	next := func() uint64 { nonce += 2; return nonce }
+	tUS := int64(0)
+	for i, h := range hosts {
+		dst := hosts[(i+7)%len(hosts)]
+		spoof := hosts[(i+3)%len(hosts)]
+		// Plain ping and RR ping, host to host.
+		f.Inject(h.Router, ipv4.BuildEchoRequest(h.Addr, dst.Addr, 1, 1, 64, 0, nil), tUS, 1, next())
+		f.Inject(h.Router, ipv4.BuildEchoRequest(h.Addr, dst.Addr, 2, 1, 64, ipv4.RRSlots, nil), tUS, 1, next())
+		// Timestamp ping (prespec on the destination).
+		f.Inject(h.Router, ipv4.BuildEchoRequest(h.Addr, dst.Addr, 3, 1, 64, 0, []ipv4.Addr{dst.Addr}), tUS, 1, next())
+		// TTL-limited probes: time-exceeded generation mid-path.
+		for _, ttl := range []uint8{1, 3, 6} {
+			f.Inject(h.Router, ipv4.BuildEchoRequest(h.Addr, dst.Addr, 4, uint16(ttl), ttl, 0, nil), tUS, 2, next())
+		}
+		// Spoofed RR: the reply routes to the spoofed source.
+		f.Inject(h.Router, ipv4.BuildEchoRequest(spoof.Addr, dst.Addr, 5, 1, 64, ipv4.RRSlots, nil), tUS, 1, next())
+		// Ping to router infrastructure (the destination's access router).
+		f.Inject(h.Router, ipv4.BuildEchoRequest(h.Addr, f.Topo.Routers[dst.Router].Loopback, 6, 1, 64, ipv4.RRSlots, nil), tUS, 1, next())
+		// Probe toward a (likely) dark address in the destination's block.
+		f.Inject(h.Router, ipv4.BuildEchoRequest(h.Addr, dst.Addr+199, 7, 1, 64, 0, nil), tUS, 1, next())
+		// Advance virtual time so epoch/flap windows vary across hosts.
+		tUS += 333_000
+	}
+}
+
+// TestPacketConservation asserts the fabric's accounting invariant —
+// injected == delivered + dropped + absorbed — over random seeds, with
+// and without an active fault plan. Every packetsDropped increment site
+// (option filter, no next hop, hop exhaustion, unresponsive router,
+// unresponsive TE source, plus the injected-fault drops) terminates a
+// walk exactly once, so any double- or under-count breaks the sum.
+func TestPacketConservation(t *testing.T) {
+	plans := []*faults.Plan{
+		nil,
+		{},
+		{Seed: 1, LinkLoss: 0.08},
+		{Seed: 2, ICMPFrac: 0.6, ICMPPass: 0.3},
+		{Seed: 3, FlapFrac: 0.25},
+		{Seed: 4, LinkLoss: 0.03, ICMPFrac: 0.4, ICMPPass: 0.5, FlapFrac: 0.1},
+	}
+	for _, topoSeed := range []int64{5, 11, 23} {
+		cfg := topology.DefaultConfig(300)
+		cfg.Seed = topoSeed
+		topo := topology.Generate(cfg)
+		routing := bgp.NewRouting(topo, bgp.DefaultTieBreak(topoSeed), 64)
+
+		var hosts []*topology.Host
+		for hi := range topo.Hosts {
+			hosts = append(hosts, &topo.Hosts[hi])
+			if len(hosts) == 40 {
+				break
+			}
+		}
+		if len(hosts) < 10 {
+			t.Fatalf("seed %d: too few hosts", topoSeed)
+		}
+
+		for pi, plan := range plans {
+			plan := plan
+			if plan != nil && len(plan.Blackouts) == 0 && plan.Enabled() {
+				// Rebuild with blackout windows added so the host-delivery
+				// drop path is exercised too (a fresh Plan, not a copy: the
+				// struct embeds atomic counters).
+				plan = &faults.Plan{
+					Seed: plan.Seed, LinkLoss: plan.LinkLoss,
+					ICMPFrac: plan.ICMPFrac, ICMPPass: plan.ICMPPass,
+					FlapFrac: plan.FlapFrac,
+					Blackouts: []faults.Blackout{
+						{Addr: hosts[1].Addr, FromUS: 0, ToUS: 0},
+						{Addr: hosts[5].Addr, FromUS: 100_000, ToUS: 2_000_000},
+					},
+				}
+			}
+			t.Run(fmt.Sprintf("topo%d/plan%d", topoSeed, pi), func(t *testing.T) {
+				f := New(topo, routing, topoSeed)
+				f.SetFaults(plan)
+				conservationWorkload(f, hosts)
+				inj, del, drop, abs := f.PacketsInjected(), f.PacketsDelivered(), f.PacketsDropped(), f.PacketsAbsorbed()
+				if inj == 0 {
+					t.Fatal("workload injected nothing")
+				}
+				if inj != del+drop+abs {
+					t.Fatalf("conservation violated: injected=%d != delivered=%d + dropped=%d + absorbed=%d (diff %d)",
+						inj, del, drop, abs, int64(inj)-int64(del+drop+abs))
+				}
+				if plan.Enabled() && plan.Total() == 0 {
+					t.Error("fault plan enabled but injected nothing")
+				}
+			})
+		}
+	}
+}
+
+// TestConservationCleanRun checks the invariant plus positive deliveries
+// on a fault-free fabric: everything injected must land somewhere.
+func TestConservationCleanRun(t *testing.T) {
+	f := testFabric(t, 300)
+	src := pickHost(f, 0, respHost)
+	dst := pickHost(f, 0, differentAS(src))
+	f.Inject(src.Router, ipv4.BuildEchoRequest(src.Addr, dst.Addr, 1, 1, 64, ipv4.RRSlots, nil), 0, 1, 1)
+	inj, del, drop, abs := f.PacketsInjected(), f.PacketsDelivered(), f.PacketsDropped(), f.PacketsAbsorbed()
+	if inj != del+drop+abs {
+		t.Fatalf("conservation violated: %d != %d+%d+%d", inj, del, drop, abs)
+	}
+	if del == 0 {
+		t.Fatal("responsive host pair delivered nothing")
+	}
+}

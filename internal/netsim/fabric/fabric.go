@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"revtr/internal/netsim/bgp"
+	"revtr/internal/netsim/faults"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/netsim/topology"
 )
@@ -76,17 +77,60 @@ type Fabric struct {
 
 	intra *intraTrees
 
+	// faults, when non-nil, is consulted on the walk and reply paths.
+	// Decisions are pure functions of (plan, entity, virtual time,
+	// nonce), so an attached plan preserves the fabric's determinism.
+	faults *faults.Plan
+
 	// Counters (atomic: campaigns drive one fabric from many workers).
-	hopsForwarded  atomic.Uint64
-	packetsDropped atomic.Uint64
+	// Conservation invariant: packetsInjected == packetsDelivered +
+	// packetsDropped + packetsAbsorbed once all walks have returned —
+	// every packet (injected requests and every generated reply alike)
+	// terminates in exactly one bucket.
+	hopsForwarded    atomic.Uint64
+	packetsInjected  atomic.Uint64
+	packetsDropped   atomic.Uint64
+	packetsDelivered atomic.Uint64
+	packetsAbsorbed  atomic.Uint64
 }
 
 // HopsForwarded reports the total router hops traversed by all packets.
 func (f *Fabric) HopsForwarded() uint64 { return f.hopsForwarded.Load() }
 
+// PacketsInjected reports all packets that entered the fabric: injected
+// requests plus every reply generated inside it.
+func (f *Fabric) PacketsInjected() uint64 { return f.packetsInjected.Load() }
+
 // PacketsDropped reports packets dropped (filtered, unroutable,
-// unresponsive endpoints, TTL exhaustion without reply).
+// unresponsive endpoints, TTL exhaustion without reply, injected faults).
 func (f *Fabric) PacketsDropped() uint64 { return f.packetsDropped.Load() }
+
+// PacketsDelivered reports packets that reached an endpoint delivery.
+func (f *Fabric) PacketsDelivered() uint64 { return f.packetsDelivered.Load() }
+
+// PacketsAbsorbed reports packets consumed by a router that answered
+// them (echo reply, time exceeded) — neither delivered nor dropped; the
+// answer itself is counted as a new injected packet.
+func (f *Fabric) PacketsAbsorbed() uint64 { return f.packetsAbsorbed.Load() }
+
+// SetFaults attaches (or with nil detaches) a fault plan. Attach before
+// traffic flows; the hook is nil-safe and free when no plan is set.
+func (f *Fabric) SetFaults(p *faults.Plan) { f.faults = p }
+
+// Faults returns the attached fault plan (nil when none).
+func (f *Fabric) Faults() *faults.Plan { return f.faults }
+
+// VPDown reports whether the endpoint at a is inside a scheduled
+// blackout window at tUS, recording the suppressed probe when it is.
+// The probe layer consults it before putting a packet on the wire — a
+// blacked-out vantage point cannot send at all.
+func (f *Fabric) VPDown(a ipv4.Addr, tUS int64) bool {
+	if !f.faults.EndpointDown(a, tUS) {
+		return false
+	}
+	f.faults.Record(faults.KindBlackout)
+	return true
+}
 
 // New builds a fabric over topo using routing for interdomain next hops.
 func New(topo *topology.Topology, routing *bgp.Routing, seed int64) *Fabric {
@@ -120,6 +164,7 @@ type walkCtx struct {
 	flowID  uint64 // per-flow load-balancing key (constant per measurement flow)
 	nonce   uint64 // per-packet entropy for per-packet load balancing
 	isReply bool   // replies do not generate further replies
+	tUS     int64  // virtual time at the current hop (route choices consult it)
 }
 
 // Inject sends pkt into the network at the given router (a host's access
@@ -136,6 +181,7 @@ func (f *Fabric) Inject(at topology.RouterID, pkt []byte, nowUS int64, flowID, n
 // walk forwards pkt starting at router cur (arrived via iface arrIface,
 // or None if locally injected) until delivery, drop, or hop exhaustion.
 func (f *Fabric) walk(cur topology.RouterID, arrIface topology.IfaceID, pkt []byte, tUS int64, c *walkCtx) {
+	f.packetsInjected.Add(1)
 	topo := f.Topo
 	dst := ipv4.PacketDst(pkt)
 	hasOpts := ipv4.PacketHeaderLen(pkt) > ipv4.HeaderLen
@@ -146,6 +192,7 @@ func (f *Fabric) walk(cur topology.RouterID, arrIface topology.IfaceID, pkt []by
 	}
 
 	for hops := 0; hops < MaxHops; hops++ {
+		c.tUS = tUS
 		r := topo.Routers[cur]
 		if !c.isReply {
 			c.res.Trace = append(c.res.Trace, cur)
@@ -180,6 +227,7 @@ func (f *Fabric) walk(cur topology.RouterID, arrIface topology.IfaceID, pkt []by
 				c.res.Deliveries = append(c.res.Deliveries, Delivery{
 					Pkt: pkt, To: dst, TimeUS: tUS, Site: site,
 				})
+				f.packetsDelivered.Add(1)
 				if !c.isReply && ipv4.PacketProto(pkt) == ipv4.ProtoICMP {
 					var hdr ipv4.Header
 					if payload, err := hdr.Decode(pkt); err == nil {
@@ -215,6 +263,19 @@ func (f *Fabric) walk(cur topology.RouterID, arrIface topology.IfaceID, pkt []by
 		}
 
 		link := &topo.Links[topo.Ifaces[nextIface].Link]
+		// Injected faults on the chosen link. Flapped interdomain links
+		// are withdrawn from egress choices (reroute); a packet can still
+		// land on a flapped intradomain link, where it blackholes.
+		if f.faults.LinkFlapped(link.ID, tUS) {
+			f.faults.Record(faults.KindFlap)
+			f.packetsDropped.Add(1)
+			return
+		}
+		if f.faults.DropOnLink(link.ID, tUS, c.nonce) {
+			f.faults.Record(faults.KindLinkLoss)
+			f.packetsDropped.Add(1)
+			return
+		}
 		nxt, nxtIface := topo.LinkOtherEnd(link.ID, cur)
 		tUS += int64(link.LatencyUS) + perHopProcUS
 		prevAS = r.AS
@@ -237,10 +298,16 @@ func (f *Fabric) deliverToRouter(cur topology.RouterID, arrIface topology.IfaceI
 		// deliver it as an endpoint delivery so measurement agents
 		// attached to routers can observe it.
 		c.res.Deliveries = append(c.res.Deliveries, Delivery{Pkt: pkt, To: ipv4.PacketDst(pkt), TimeUS: tUS, Site: -1})
+		f.packetsDelivered.Add(1)
 		return
 	}
 	hasOpts := ipv4.PacketHeaderLen(pkt) > ipv4.HeaderLen
 	if !r.RespondsToPing || (hasOpts && !r.RespondsToOptions) {
+		f.packetsDropped.Add(1)
+		return
+	}
+	if f.faults.RateLimited(cur, tUS, c.nonce) {
+		f.faults.Record(faults.KindRateLimit)
 		f.packetsDropped.Add(1)
 		return
 	}
@@ -253,15 +320,22 @@ func (f *Fabric) deliverToRouter(cur topology.RouterID, arrIface topology.IfaceI
 	if hasOpts {
 		f.stampPolicy(r, arrIface, replyIface, reply, tUS)
 	}
+	f.packetsAbsorbed.Add(1)
 	f.startReply(cur, reply, tUS, c)
 }
 
 // deliverToHost handles a packet addressed to an end host.
 func (f *Fabric) deliverToHost(h *topology.Host, pkt []byte, tUS int64, c *walkCtx) {
+	if f.faults.EndpointDown(h.Addr, tUS) {
+		f.faults.Record(faults.KindBlackout)
+		f.packetsDropped.Add(1)
+		return
+	}
 	if !c.isReply {
 		c.res.ReachedDst = true
 	}
 	c.res.Deliveries = append(c.res.Deliveries, Delivery{Pkt: pkt, To: h.Addr, TimeUS: tUS, Site: -1})
+	f.packetsDelivered.Add(1)
 	if c.isReply {
 		return
 	}
@@ -304,11 +378,17 @@ func (f *Fabric) sendTimeExceeded(cur topology.RouterID, arrIface topology.Iface
 		f.packetsDropped.Add(1)
 		return
 	}
+	if f.faults.RateLimited(cur, tUS, c.nonce) {
+		f.faults.Record(faults.KindRateLimit)
+		f.packetsDropped.Add(1)
+		return
+	}
 	from := r.Loopback
 	if arrIface != topology.None {
 		from = f.Topo.Ifaces[arrIface].Addr
 	}
 	te := ipv4.BuildTimeExceeded(pkt, from, 64)
+	f.packetsAbsorbed.Add(1)
 	f.startReply(cur, te, tUS, c)
 }
 

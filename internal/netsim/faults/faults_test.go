@@ -1,0 +1,240 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/netsim/topology"
+)
+
+// Two plans with equal fields must make identical decisions for every
+// query — the determinism contract the chaos harness builds on.
+func TestPlanDeterministic(t *testing.T) {
+	mk := func() *Plan {
+		return &Plan{Seed: 7, LinkLoss: 0.3, ICMPFrac: 0.5, ICMPPass: 0.4, FlapFrac: 0.2}
+	}
+	a, b := mk(), mk()
+	for l := topology.LinkID(0); l < 200; l++ {
+		for _, tUS := range []int64{0, 999, 150_000, 1_000_001, 61_000_000} {
+			nonce := uint64(l)*0x9e37 + uint64(tUS)
+			if a.DropOnLink(l, tUS, nonce) != b.DropOnLink(l, tUS, nonce) {
+				t.Fatalf("DropOnLink diverged at link=%d t=%d", l, tUS)
+			}
+			if a.LinkFlapped(l, tUS) != b.LinkFlapped(l, tUS) {
+				t.Fatalf("LinkFlapped diverged at link=%d t=%d", l, tUS)
+			}
+			r := topology.RouterID(l)
+			if a.RateLimited(r, tUS, nonce) != b.RateLimited(r, tUS, nonce) {
+				t.Fatalf("RateLimited diverged at router=%d t=%d", r, tUS)
+			}
+		}
+	}
+}
+
+// Different seeds must produce different fault patterns (otherwise the
+// seed parameter is dead).
+func TestSeedChangesPattern(t *testing.T) {
+	a := &Plan{Seed: 1, LinkLoss: 0.5}
+	b := &Plan{Seed: 2, LinkLoss: 0.5}
+	diff := 0
+	for l := topology.LinkID(0); l < 500; l++ {
+		if a.DropOnLink(l, 0, uint64(l)) != b.DropOnLink(l, 0, uint64(l)) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical loss patterns")
+	}
+}
+
+// A nil plan must answer every query negatively and absorb every
+// mutation without panicking — the fabric hooks run unconditionally.
+func TestNilPlanSafe(t *testing.T) {
+	var p *Plan
+	if p.DropOnLink(1, 0, 0) || p.RateLimited(1, 0, 0) || p.LinkFlapped(1, 0) ||
+		p.EndpointDown(ipv4.MustParseAddr("10.0.0.1"), 0) {
+		t.Fatal("nil plan injected a fault")
+	}
+	p.Record(KindLinkLoss) // must not panic
+	p.SetObs(nil)
+	if p.Count(KindLinkLoss) != 0 || p.Total() != 0 {
+		t.Fatal("nil plan counted something")
+	}
+	if p.Enabled() {
+		t.Fatal("nil plan claims to be enabled")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("nil plan failed validation: %v", err)
+	}
+}
+
+// Loss frequency should track the configured rate (law of large numbers
+// over deterministic draws).
+func TestLossRateApprox(t *testing.T) {
+	p := &Plan{Seed: 3, LinkLoss: 0.25}
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.DropOnLink(topology.LinkID(i%97), int64(i)*1000, uint64(i)*0x9e3779b9) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("loss rate %.3f, want ~0.25", got)
+	}
+}
+
+func TestRateLimitBurstWindow(t *testing.T) {
+	p := &Plan{Seed: 5, ICMPFrac: 1, ICMPPass: 0}
+	// Inside the burst window every reply passes, regardless of nonce.
+	for n := uint64(0); n < 100; n++ {
+		if p.RateLimited(3, 50_000, n) {
+			t.Fatal("rate-limited inside the burst window")
+		}
+	}
+	// After the burst, with ICMPPass=0 every reply is suppressed.
+	for n := uint64(0); n < 100; n++ {
+		if !p.RateLimited(3, 500_000, n) {
+			t.Fatal("passed after burst with ICMPPass=0")
+		}
+	}
+	// The next epoch's burst resets the bucket.
+	if p.RateLimited(3, 1_050_000, 1) {
+		t.Fatal("rate-limited inside the next epoch's burst window")
+	}
+}
+
+func TestRateLimitFraction(t *testing.T) {
+	// ICMPFrac=0.5: roughly half the routers limit; the rest never do.
+	p := &Plan{Seed: 11, ICMPFrac: 0.5, ICMPPass: 0}
+	limiting := 0
+	const n = 2000
+	for r := topology.RouterID(0); r < n; r++ {
+		if p.RateLimited(r, 500_000, 1) {
+			limiting++
+		}
+	}
+	got := float64(limiting) / n
+	if math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("limiting fraction %.3f, want ~0.5", got)
+	}
+}
+
+func TestFlapWindows(t *testing.T) {
+	p := &Plan{Seed: 9, FlapFrac: 1} // every link flaps
+	if !p.LinkFlapped(4, 1_000_000) {
+		t.Fatal("link not flapped inside the down window")
+	}
+	if p.LinkFlapped(4, DefaultFlapDownUS+1) {
+		t.Fatal("link flapped after the down window")
+	}
+	// Next period: down again at its start.
+	if !p.LinkFlapped(4, DefaultFlapPeriodUS+1000) {
+		t.Fatal("link not flapped at the next period's start")
+	}
+}
+
+func TestBlackoutWindows(t *testing.T) {
+	a := ipv4.MustParseAddr("10.1.2.3")
+	other := ipv4.MustParseAddr("10.1.2.4")
+	p := (&Plan{}).AddBlackout(a, 1000, 5000)
+	for _, tc := range []struct {
+		addr ipv4.Addr
+		tUS  int64
+		want bool
+	}{
+		{a, 0, false}, {a, 999, false}, {a, 1000, true},
+		{a, 4999, true}, {a, 5000, false}, {other, 2000, false},
+	} {
+		if got := p.EndpointDown(tc.addr, tc.tUS); got != tc.want {
+			t.Fatalf("EndpointDown(%s, %d) = %v, want %v", tc.addr, tc.tUS, got, tc.want)
+		}
+	}
+	// ToUS <= 0: outage never ends.
+	forever := (&Plan{}).AddBlackout(a, 2000, 0)
+	if forever.EndpointDown(a, 1999) {
+		t.Fatal("down before the forever-outage starts")
+	}
+	if !forever.EndpointDown(a, 1<<60) {
+		t.Fatal("forever outage ended")
+	}
+}
+
+func TestRecordCounts(t *testing.T) {
+	p := &Plan{}
+	p.Record(KindLinkLoss)
+	p.Record(KindLinkLoss)
+	p.Record(KindFlap)
+	if p.Count(KindLinkLoss) != 2 || p.Count(KindFlap) != 1 || p.Count(KindRateLimit) != 0 {
+		t.Fatalf("counts: loss=%d flap=%d limit=%d", p.Count(KindLinkLoss), p.Count(KindFlap), p.Count(KindRateLimit))
+	}
+	if p.Total() != 3 {
+		t.Fatalf("total=%d, want 3", p.Total())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	nan := math.NaN()
+	for name, p := range map[string]*Plan{
+		"nan loss":          {LinkLoss: nan},
+		"inf pass":          {ICMPPass: math.Inf(1)},
+		"negative frac":     {ICMPFrac: -0.1},
+		"rate above one":    {FlapFrac: 1.5},
+		"negative epoch":    {ICMPEpochUS: -1},
+		"burst over epoch":  {ICMPEpochUS: 1000, ICMPBurstUS: 2000},
+		"down over period":  {FlapPeriodUS: 1000, FlapDownUS: 2000},
+		"negative blackout": {Blackouts: []Blackout{{FromUS: -5}}},
+		"inverted blackout": {Blackouts: []Blackout{{FromUS: 10, ToUS: 5}}},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+	ok := &Plan{LinkLoss: 0.01, ICMPFrac: 1, ICMPPass: 1, FlapFrac: 0,
+		Blackouts: []Blackout{{FromUS: 0, ToUS: 0}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "loss=0.01,icmp-frac=0.3,icmp-pass=0.5,flap=0.02,blackout=10.0.0.1@5s-20s,seed=42"
+	p := MustParse(spec)
+	if p.LinkLoss != 0.01 || p.ICMPFrac != 0.3 || p.ICMPPass != 0.5 || p.FlapFrac != 0.02 || p.Seed != 42 {
+		t.Fatalf("parsed fields wrong: %+v", p)
+	}
+	if len(p.Blackouts) != 1 || p.Blackouts[0].FromUS != 5_000_000 || p.Blackouts[0].ToUS != 20_000_000 {
+		t.Fatalf("blackout wrong: %+v", p.Blackouts)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", p.String(), err)
+	}
+	if q.String() != p.String() {
+		t.Fatalf("round trip: %q != %q", q.String(), p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"loss",                        // not key=value
+		"bogus=1",                     // unknown key
+		"loss=NaN",                    // rejected by Validate
+		"loss=-1",                     // out of range
+		"loss=2",                      // out of range
+		"icmp-burst=2s,icmp-epoch=1s", // burst over epoch
+		"blackout=10.0.0.1",           // missing window
+		"blackout=notanip@0s-1s",
+		"blackout=10.0.0.1@9s-4s", // inverted
+		"seed=notanumber",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+	if p, err := Parse(""); err != nil || p.Enabled() {
+		t.Errorf("empty spec: plan=%+v err=%v", p, err)
+	}
+}

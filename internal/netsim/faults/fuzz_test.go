@@ -1,0 +1,60 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan feeds arbitrary spec strings through the parser. The
+// contract: Parse never panics, and any plan it accepts both passes
+// Validate (NaN/negative/out-of-range rates are errors, not plans) and
+// round-trips through String.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"loss=0.01",
+		"loss=0.01,icmp-frac=0.3,icmp-pass=0.5,flap=0.02,seed=42",
+		"blackout=10.0.0.1@5s-20s",
+		"blackout=10.0.0.1@0s-0s,blackout=10.0.0.2@1h-0s",
+		"icmp-epoch=1s,icmp-burst=100ms",
+		"flap-period=60s,flap-down=5s",
+		"loss=NaN",
+		"loss=-1",
+		"loss=1e309",
+		"icmp-burst=2s,icmp-epoch=1s",
+		"seed=18446744073709551615",
+		"blackout=@-",
+		"loss=0.5,loss=0.25",
+		" loss = 0.1 , flap = 0.2 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted a plan Validate rejects: %v", spec, err)
+		}
+		// Accepted plans render to a canonical spec that re-parses to the
+		// same canonical form.
+		s := p.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("String() of accepted plan does not re-parse: %q: %v", s, err)
+		}
+		if q.String() != s {
+			t.Fatalf("canonical form unstable: %q -> %q", s, q.String())
+		}
+		// Decision methods must not panic on accepted plans.
+		_ = p.DropOnLink(1, 0, 1)
+		_ = p.RateLimited(1, 0, 1)
+		_ = p.LinkFlapped(1, 0)
+		if strings.Contains(spec, "blackout") {
+			for _, b := range p.Blackouts {
+				_ = p.EndpointDown(b.Addr, b.FromUS)
+			}
+		}
+	})
+}

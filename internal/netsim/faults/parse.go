@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"revtr/internal/netsim/ipv4"
+)
+
+// Parse builds a Plan from a compact spec string, the form the binaries'
+// -fault-* flags and test fixtures use:
+//
+//	loss=0.01,icmp-frac=0.3,icmp-pass=0.5,flap=0.02,blackout=10.0.0.1@5s-20s,seed=42
+//
+// Keys: loss, icmp-frac, icmp-pass, icmp-epoch, icmp-burst, flap,
+// flap-period, flap-down, blackout (repeatable, ADDR@FROM-TO with Go
+// durations; TO of 0 means forever), seed. The empty string is the empty
+// plan. The returned plan has been Validated: NaN, infinite, negative,
+// or >1 rates are rejected as errors, never panics.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "loss":
+			p.LinkLoss, err = parseRate(key, val)
+		case "icmp-frac":
+			p.ICMPFrac, err = parseRate(key, val)
+		case "icmp-pass":
+			p.ICMPPass, err = parseRate(key, val)
+		case "icmp-epoch":
+			p.ICMPEpochUS, err = parseDurUS(key, val)
+		case "icmp-burst":
+			p.ICMPBurstUS, err = parseDurUS(key, val)
+		case "flap":
+			p.FlapFrac, err = parseRate(key, val)
+		case "flap-period":
+			p.FlapPeriodUS, err = parseDurUS(key, val)
+		case "flap-down":
+			p.FlapDownUS, err = parseDurUS(key, val)
+		case "blackout":
+			var b Blackout
+			b, err = parseBlackout(val)
+			p.Blackouts = append(p.Blackouts, b)
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			return nil, fmt.Errorf("faults: unknown key %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse for compile-time-constant specs in tests.
+func MustParse(spec string) *Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the plan back into Parse's spec syntax (canonical field
+// order, defaults omitted), so specs round-trip.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	addUS := func(k string, us int64) {
+		if us != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, time.Duration(us)*time.Microsecond))
+		}
+	}
+	add("loss", p.LinkLoss)
+	add("icmp-frac", p.ICMPFrac)
+	add("icmp-pass", p.ICMPPass)
+	addUS("icmp-epoch", p.ICMPEpochUS)
+	addUS("icmp-burst", p.ICMPBurstUS)
+	add("flap", p.FlapFrac)
+	addUS("flap-period", p.FlapPeriodUS)
+	addUS("flap-down", p.FlapDownUS)
+	for _, b := range p.Blackouts {
+		parts = append(parts, fmt.Sprintf("blackout=%s@%s-%s", b.Addr,
+			time.Duration(b.FromUS)*time.Microsecond, time.Duration(b.ToUS)*time.Microsecond))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseRate(key, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s=%q: %v", key, val, err)
+	}
+	// Range and NaN checks happen in Validate, so the error message can
+	// name the field regardless of how the plan was built.
+	return v, nil
+}
+
+func parseDurUS(key, val string) (int64, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, fmt.Errorf("faults: %s=%q: %v", key, val, err)
+	}
+	return d.Microseconds(), nil
+}
+
+// parseBlackout parses ADDR@FROM-TO (durations; TO of 0 = forever).
+func parseBlackout(val string) (Blackout, error) {
+	addrStr, window, ok := strings.Cut(val, "@")
+	if !ok {
+		return Blackout{}, fmt.Errorf("faults: blackout=%q is not ADDR@FROM-TO", val)
+	}
+	addr, err := ipv4.ParseAddr(addrStr)
+	if err != nil {
+		return Blackout{}, fmt.Errorf("faults: blackout address %q: %v", addrStr, err)
+	}
+	fromStr, toStr, ok := strings.Cut(window, "-")
+	if !ok {
+		return Blackout{}, fmt.Errorf("faults: blackout window %q is not FROM-TO", window)
+	}
+	from, err := parseDurUS("blackout from", fromStr)
+	if err != nil {
+		return Blackout{}, err
+	}
+	to, err := parseDurUS("blackout to", toStr)
+	if err != nil {
+		return Blackout{}, err
+	}
+	return Blackout{Addr: addr, FromUS: from, ToUS: to}, nil
+}

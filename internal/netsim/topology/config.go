@@ -1,5 +1,10 @@
 package topology
 
+import (
+	"fmt"
+	"math"
+)
+
 // Config controls topology generation. The zero value is not usable; start
 // from DefaultConfig (a 2020-flavoured Internet: flattened, with colo ASes
 // near most networks) or Config2016 (the pre-flattening Internet used for
@@ -98,6 +103,47 @@ func DefaultConfig(n int) Config {
 		IntraLatMinUS: 100, IntraLatMaxUS: 3000,
 		InterLatMinUS: 1000, InterLatMaxUS: 30000,
 	}
+}
+
+// Validate rejects unusable configurations: NaN/Inf or out-of-range
+// probability fields and non-positive population counts. Generate does
+// not call it (deterministic generation is seed-stable); harnesses that
+// accept configs from outside (simtest, fuzzers) should.
+func (c Config) Validate() error {
+	if c.NumASes <= 0 {
+		return fmt.Errorf("topology: NumASes=%d not positive", c.NumASes)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"TransitFrac", c.TransitFrac},
+		{"ColoFrac", c.ColoFrac},
+		{"NRENFrac", c.NRENFrac},
+		{"StubAtIXPFrac", c.StubAtIXPFrac},
+		{"HostPingResponsive", c.HostPingResponsive},
+		{"HostRRGivenPing", c.HostRRGivenPing},
+		{"HostStamps", c.HostStamps},
+		{"RouterPingResponsive", c.RouterPingResponsive},
+		{"RouterOptResponsive", c.RouterOptResponsive},
+		{"SNMPv3Responsive", c.SNMPv3Responsive},
+		{"StampEgressP", c.StampEgressP},
+		{"StampIngressP", c.StampIngressP},
+		{"StampLoopbackP", c.StampLoopbackP},
+		{"StampPrivateP", c.StampPrivateP},
+		{"DBRViolatorP", c.DBRViolatorP},
+		{"PerPacketLBP", c.PerPacketLBP},
+		{"ASFiltersOptionsP", c.ASFiltersOptionsP},
+		{"ASAllowsSpoofingP", c.ASAllowsSpoofingP},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("topology: %s is not a finite number", f.name)
+		}
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("topology: %s=%v outside [0,1]", f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // Config2016 returns a pre-flattening Internet: far fewer colo ASes and

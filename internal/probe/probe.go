@@ -38,6 +38,86 @@ import (
 // description introduced by the probe-layer split).
 type Request = measure.Spec
 
+// DefaultBackoffUS is the first-retry delay when a policy enables
+// retries without choosing one.
+const DefaultBackoffUS = 50_000
+
+// RetryPolicy re-issues unanswered probes with capped exponential
+// backoff in virtual time: retry k of a request issued at t is issued at
+// t plus the cumulative backoff, with no wall-clock sleeping. Retries
+// are decided purely by the reply content (answered or not), so a batch
+// with retries is still bit-identical across worker counts. Unsent
+// probes (spoof-incapable or blacked-out vantage points) are never
+// retried — the condition is not transient within a measurement.
+type RetryPolicy struct {
+	// Max is the number of re-issues after the first attempt (0: none).
+	Max int
+	// BackoffUS is the virtual-time delay before the first retry
+	// (DefaultBackoffUS when 0); it doubles per retry.
+	BackoffUS int64
+	// MaxBackoffUS caps a single backoff step (0: uncapped).
+	MaxBackoffUS int64
+}
+
+// backoffFor is the delay before retry attempt (1-based).
+func (rp RetryPolicy) backoffFor(attempt int) int64 {
+	b := rp.BackoffUS
+	if b <= 0 {
+		b = DefaultBackoffUS
+	}
+	for i := 1; i < attempt; i++ {
+		if rp.MaxBackoffUS > 0 && b >= rp.MaxBackoffUS {
+			break
+		}
+		b *= 2
+	}
+	if rp.MaxBackoffUS > 0 && b > rp.MaxBackoffUS {
+		b = rp.MaxBackoffUS
+	}
+	return b
+}
+
+// responded reports whether rep answers req (per probe kind), i.e.
+// whether a retry would be pointless.
+func responded(req Request, rep measure.Reply) bool {
+	if !rep.Sent {
+		return false
+	}
+	switch req.Kind {
+	case measure.KindPing:
+		return rep.Ping.Alive
+	case measure.KindRR, measure.KindSpoofedRR:
+		return rep.RR.Responded
+	case measure.KindTS, measure.KindSpoofedTS:
+		return rep.TS.Responded
+	case measure.KindTraceroutePkt:
+		return rep.Delivered
+	}
+	return true
+}
+
+// addDelay folds the cumulative retry delay into the reply's responder
+// RTT, so batch wall-clock (MaxRTTUS) charges the full elapsed virtual
+// time of the request including the backoff spent waiting.
+func addDelay(rep measure.Reply, delayUS int64) measure.Reply {
+	if delayUS == 0 {
+		return rep
+	}
+	if rep.Ping.Alive {
+		rep.Ping.RTTUS += delayUS
+	}
+	if rep.RR.Responded {
+		rep.RR.RTTUS += delayUS
+	}
+	if rep.TS.Responded {
+		rep.TS.RTTUS += delayUS
+	}
+	if rep.Hop.Responded {
+		rep.Hop.RTTUS += delayUS
+	}
+	return rep
+}
+
 // Batch is the outcome of one Do call.
 type Batch struct {
 	// Replies holds one entry per request, in request order, regardless
@@ -65,6 +145,7 @@ type Pool struct {
 	clock   *measure.Clock
 	workers int
 	sem     chan struct{}
+	retry   RetryPolicy
 
 	// Aggregate counters, atomic so concurrent batches can share them.
 	ping, rr, spoofRR, ts, spoofTS, traceroute atomic.Uint64
@@ -73,6 +154,7 @@ type Pool struct {
 	batchSize   *obs.Histogram
 	batchWallUS *obs.Histogram
 	batches     *obs.Counter
+	retries     *obs.Counter
 }
 
 // batchSizeBuckets spans single probes through revtr 1.0's widest VP
@@ -111,7 +193,15 @@ func (p *Pool) SetObs(reg *obs.Registry) {
 	p.batchSize = reg.Histogram("probe_pool_batch_size", batchSizeBuckets)
 	p.batchWallUS = reg.Histogram("probe_pool_batch_wall_us", nil)
 	p.batches = reg.Counter("probe_pool_batches_total")
+	p.retries = reg.Counter("probe_retries_total")
 }
+
+// SetRetry installs the pool's default retry policy (used by Do/DoStop/
+// One; DoPolicy overrides per call). Call before the pool is in use.
+func (p *Pool) SetRetry(pol RetryPolicy) { p.retry = pol }
+
+// Retry reports the pool's default retry policy.
+func (p *Pool) Retry() RetryPolicy { return p.retry }
 
 // Clock exposes the pool's virtual clock.
 func (p *Pool) Clock() *measure.Clock { return p.clock }
@@ -157,7 +247,14 @@ func (p *Pool) account(sp Request) {
 // have completed. Every request is launched unless ctx is cancelled
 // first, so the result is deterministic for a deterministic fabric.
 func (p *Pool) Do(ctx context.Context, reqs []Request) Batch {
-	return p.run(ctx, reqs, nil)
+	return p.run(ctx, reqs, nil, p.retry)
+}
+
+// DoPolicy is Do with an explicit retry policy for this batch,
+// overriding the pool default (engine retry budgets in core.Options use
+// this).
+func (p *Pool) DoPolicy(ctx context.Context, reqs []Request, pol RetryPolicy) Batch {
+	return p.run(ctx, reqs, nil, pol)
 }
 
 // DoStop is Do with early cancellation: once a completed reply satisfies
@@ -166,26 +263,43 @@ func (p *Pool) Do(ctx context.Context, reqs []Request) Batch {
 // completion timing, so DoStop is for latency-sensitive callers that do
 // not need bit-reproducible probe counts.
 func (p *Pool) DoStop(ctx context.Context, reqs []Request, stop func(measure.Reply) bool) Batch {
-	return p.run(ctx, reqs, stop)
+	return p.run(ctx, reqs, stop, p.retry)
 }
 
-func (p *Pool) run(ctx context.Context, reqs []Request, stop func(measure.Reply) bool) Batch {
+func (p *Pool) run(ctx context.Context, reqs []Request, stop func(measure.Reply) bool, pol RetryPolicy) Batch {
 	out := Batch{Replies: make([]measure.Reply, len(reqs))}
 	if len(reqs) == 0 {
 		return out
 	}
 	nowUS := p.clock.Now()
+	attempts := make([]uint64, len(reqs))
 	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	launched := 0
 	issue := func(i int) {
 		p.inFlight.Add(1)
 		rep := measure.Issue(p.F, reqs[i], nowUS)
-		p.inFlight.Add(-1)
-		out.Replies[i] = rep
 		if rep.Sent {
 			p.account(reqs[i])
+			attempts[i] = 1
+			// Unanswered probes are re-issued later in virtual time with
+			// doubling backoff. The retry decision depends only on the
+			// reply, so batches with retries stay deterministic.
+			var delayUS int64
+			for a := 1; a <= pol.Max && !responded(reqs[i], rep); a++ {
+				delayUS += pol.backoffFor(a)
+				r2 := measure.Issue(p.F, reqs[i], nowUS+delayUS)
+				p.retries.Inc()
+				if !r2.Sent {
+					break // VP went dark mid-measurement; not transient
+				}
+				p.account(reqs[i])
+				attempts[i]++
+				rep = addDelay(r2, delayUS)
+			}
 		}
+		p.inFlight.Add(-1)
+		out.Replies[i] = rep
 		if stop != nil && stop(rep) {
 			stopped.Store(true)
 		}
@@ -243,7 +357,7 @@ func (p *Pool) run(ctx context.Context, reqs []Request, stop func(measure.Reply)
 		if !rep.Sent {
 			continue
 		}
-		out.Sent = out.Sent.Add(reqs[i].Delta())
+		out.Sent = out.Sent.Add(reqs[i].Delta().Scale(attempts[i]))
 		if rtt := rep.RTTUS(); rtt > out.MaxRTTUS {
 			out.MaxRTTUS = rtt
 		}

@@ -10,6 +10,7 @@ import (
 	"revtr/internal/measure"
 	"revtr/internal/netsim/bgp"
 	"revtr/internal/netsim/fabric"
+	"revtr/internal/netsim/faults"
 	"revtr/internal/netsim/topology"
 	"revtr/internal/probe"
 	"revtr/internal/vantage"
@@ -35,10 +36,26 @@ func New(t testing.TB, n int, seed int64) *Env {
 	return NewWithConfig(t, cfg)
 }
 
+// NewFaulty is New with a fault plan attached to the fabric: the chaos
+// harness entry point. plan may be nil (equivalent to New); a non-nil
+// plan must Validate.
+func NewFaulty(t testing.TB, n int, seed int64, plan *faults.Plan) *Env {
+	t.Helper()
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("simtest: invalid fault plan: %v", err)
+	}
+	env := New(t, n, seed)
+	env.Fabric.SetFaults(plan)
+	return env
+}
+
 // NewWithConfig builds an Env over a custom topology configuration
 // (responsiveness/violator ablations).
 func NewWithConfig(t testing.TB, cfg topology.Config) *Env {
 	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("simtest: invalid topology config: %v", err)
+	}
 	seed := cfg.Seed
 	topo := topology.Generate(cfg)
 	routing := bgp.NewRouting(topo, bgp.DefaultTieBreak(seed), 64)
