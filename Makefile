@@ -1,11 +1,13 @@
 # Build / test entry points. `make ci` is what every PR must pass: vet
-# plus the full suite under the race detector (the service and campaign
-# layers are concurrent; -race is load-bearing, not optional), plus the
-# chaos suite under deterministic fault injection.
+# and the repo's own static-analysis suite (revtr-lint: determinism,
+# context, metrics, and lock contracts), plus the full suite under the
+# race detector (the service and campaign layers are concurrent; -race
+# is load-bearing, not optional), plus the chaos suite under
+# deterministic fault injection.
 
 GO ?= go
 
-.PHONY: build test short vet race ci bench chaos fuzz
+.PHONY: build test short vet lint race ci bench chaos fuzz
 
 build:
 	$(GO) build ./...
@@ -19,13 +21,21 @@ short:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's go/analysis-style suite (cmd/revtr-lint): detpath
+# (wall clock / global rand / unsorted map ranges), ctxflow (context
+# threading), obsnames (metric naming), locksafe (mutex hygiene). Any
+# finding is a CI failure; see DESIGN.md "Determinism contract and
+# static enforcement" for the rules and //revtr: escape hatches.
+lint:
+	$(GO) run ./cmd/revtr-lint ./...
+
 # -shuffle=on randomizes test order: the suites must not depend on
 # package-level execution order (chaos plans and fabrics are built per
 # test, so shuffling is free coverage).
 race:
 	$(GO) test -race -shuffle=on ./...
 
-ci: vet race bench chaos
+ci: vet lint race bench chaos
 
 # chaos runs the fault-injection suites under -race: engine and campaign
 # measured over lossy links, rate-limited routers, flapping routes, and
@@ -39,6 +49,7 @@ chaos:
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) ./internal/netsim/faults/
+	$(GO) test -fuzz FuzzSpecCodec -fuzztime $(FUZZTIME) ./internal/measure/
 
 # bench in CI runs every benchmark once (-benchtime 1x): a smoke test
 # that the benchmarks still compile and run, not a performance gate.

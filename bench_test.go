@@ -38,7 +38,7 @@ func benchExp(b *testing.B, id string) {
 	s := eval.SmallScale()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(s, io.Discard); err != nil {
+		if err := e.Run(context.Background(), s, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -209,7 +209,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	start := time.Now()
 	total := 0
 	for i := 0; i < b.N; i++ {
-		sum := r.Run(tasks)
+		sum := r.Run(context.Background(), tasks)
 		total += sum.Attempted
 	}
 	if el := time.Since(start).Seconds(); el > 0 {

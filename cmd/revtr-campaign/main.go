@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -123,7 +124,7 @@ func main() {
 	)
 	obsReg := obs.New()
 	plan.SetObs(obsReg)
-	start := time.Now()
+	start := time.Now() //revtr:wallclock operator-facing throughput log, not simulation time
 	r := &campaign.Runner{
 		D: d, Sources: srcs, Opts: core.Revtr20Options(), Workers: *workers,
 		ProbeWorkers:  *pworker,
@@ -146,15 +147,15 @@ func main() {
 	if *every > 0 {
 		// Live §5.2.4-style throughput accounting while the campaign runs.
 		r.OnProgress = func(p campaign.Progress) {
-			elapsed := time.Since(start).Seconds()
+			elapsed := time.Since(start).Seconds() //revtr:wallclock operator-facing throughput log, not simulation time
 			log.Printf("progress: %d/%d (%.1f%%) complete=%d aborted=%d failed=%d | %.0f revtr/s | %d probes",
 				p.Done, p.Total, 100*float64(p.Done)/float64(max(1, p.Total)),
 				p.Complete, p.Aborted, p.Failed,
 				float64(p.Done)/elapsed, p.Probes)
 		}
 	}
-	sum := r.Run(tasks)
-	wall := time.Since(start)
+	sum := r.Run(context.Background(), tasks)
+	wall := time.Since(start) //revtr:wallclock operator-facing runtime report, not simulation time
 
 	fmt.Printf("\n== campaign summary (§5.1 style) ==\n")
 	fmt.Printf("attempted:             %d\n", sum.Attempted)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,13 +68,13 @@ func main() {
 			failed++
 			continue
 		}
-		start := time.Now()
-		if err := e.Run(s, os.Stdout); err != nil {
+		start := time.Now() //revtr:wallclock operator-facing runtime report, not simulation time
+		if err := e.Run(context.Background(), s, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			failed++
 			continue
 		}
-		fmt.Printf("  [%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("  [%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds()) //revtr:wallclock operator-facing runtime report, not simulation time
 	}
 	if failed > 0 {
 		os.Exit(1)

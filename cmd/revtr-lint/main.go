@@ -1,0 +1,45 @@
+// Command revtr-lint runs the repo's static-analysis suite — detpath,
+// ctxflow, obsnames, locksafe — over the given package patterns and
+// exits non-zero on any diagnostic. It is the determinism gate in
+// `make lint` / `make ci`: introducing a wall-clock read, an unseeded
+// random draw, an unsorted map range, or a context/metrics/lock
+// contract violation fails the build with a message naming the
+// invariant.
+//
+//	revtr-lint ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"revtr/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: revtr-lint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "revtr-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "revtr-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

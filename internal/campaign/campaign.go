@@ -131,8 +131,9 @@ func (p *progressState) snapshot() Progress {
 // Run measures every (source, destination) task. Tasks are sharded by
 // source so each engine's cache and atlas stay single-writer. Tasks whose
 // SourceIdx is out of range are rejected up front and counted as Failed
-// (and Invalid) instead of panicking the campaign.
-func (r *Runner) Run(tasks []Task) Summary {
+// (and Invalid) instead of panicking the campaign. The context flows to
+// every MeasureReverse, so cancelling it drains the campaign promptly.
+func (r *Runner) Run(ctx context.Context, tasks []Task) Summary {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -220,7 +221,7 @@ func (r *Runner) Run(tasks []Task) Summary {
 				eng.SetMetrics(engineMetrics)
 				src := r.Sources[si]
 				for _, t := range bySource[si] {
-					res := eng.MeasureReverse(context.Background(), src, t.Dst)
+					res := eng.MeasureReverse(ctx, src, t.Dst)
 					local.Attempted++
 					switch res.Status {
 					case core.StatusComplete:

@@ -1,6 +1,7 @@
 package campaign_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,7 +44,7 @@ func testRunner(t *testing.T, workers int) (*campaign.Runner, []ipv4.Addr) {
 func TestCampaignSerial(t *testing.T) {
 	r, dsts := testRunner(t, 1)
 	tasks := campaign.AllPairs(len(r.Sources), dsts)
-	sum := r.Run(tasks)
+	sum := r.Run(context.Background(), tasks)
 	if sum.Attempted != len(tasks) {
 		t.Fatalf("attempted %d != %d", sum.Attempted, len(tasks))
 	}
@@ -89,7 +90,7 @@ func runCollecting(t *testing.T, workers, probeWorkers int) (campaign.Summary, m
 		got[taskKey{o.Task.SourceIdx, o.Task.Dst}] = renderResult(o.Result)
 		mu.Unlock()
 	}
-	sum := r.Run(campaign.AllPairs(len(r.Sources), dsts))
+	sum := r.Run(context.Background(), campaign.AllPairs(len(r.Sources), dsts))
 	return sum, got
 }
 
@@ -127,7 +128,7 @@ func TestCampaignCallback(t *testing.T) {
 		calls.Add(1)
 	}
 	tasks := campaign.AllPairs(len(r.Sources), dsts)
-	r.Run(tasks)
+	r.Run(context.Background(), tasks)
 	if int(calls.Load()) != len(tasks) {
 		t.Fatalf("callback calls %d != tasks %d", calls.Load(), len(tasks))
 	}
@@ -145,7 +146,7 @@ func TestCampaignMalformedTasks(t *testing.T) {
 		campaign.Task{SourceIdx: len(r.Sources), Dst: dsts[1]},
 		campaign.Task{SourceIdx: 9999, Dst: dsts[2]},
 	)
-	sum := r.Run(tasks)
+	sum := r.Run(context.Background(), tasks)
 	if sum.Attempted != len(tasks) {
 		t.Fatalf("attempted %d != %d", sum.Attempted, len(tasks))
 	}
@@ -171,7 +172,7 @@ func TestCampaignAllMalformed(t *testing.T) {
 		{SourceIdx: -5, Dst: dsts[0]},
 		{SourceIdx: 100, Dst: dsts[0]},
 	}
-	sum := r.Run(tasks)
+	sum := r.Run(context.Background(), tasks)
 	if sum.Attempted != 2 || sum.Failed != 2 || sum.Invalid != 2 {
 		t.Fatalf("summary = %+v, want 2 attempted/failed/invalid", sum)
 	}
@@ -202,7 +203,7 @@ func TestCampaignProgress(t *testing.T) {
 		final = p
 	}
 	tasks := campaign.AllPairs(len(r.Sources), dsts[:10])
-	sum := r.Run(tasks)
+	sum := r.Run(context.Background(), tasks)
 	if calls == 0 {
 		t.Fatal("OnProgress never called")
 	}
@@ -226,7 +227,7 @@ func TestCampaignProgress(t *testing.T) {
 
 func TestCampaignWorkerClamp(t *testing.T) {
 	r, dsts := testRunner(t, 99) // more workers than sources
-	sum := r.Run(campaign.AllPairs(len(r.Sources), dsts))
+	sum := r.Run(context.Background(), campaign.AllPairs(len(r.Sources), dsts))
 	if sum.Attempted == 0 {
 		t.Fatal("nothing ran")
 	}

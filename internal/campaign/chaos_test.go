@@ -6,6 +6,7 @@ package campaign_test
 // are blacked out mid-plan. Run with -race; `make chaos` does.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -62,7 +63,7 @@ func runFaultyCollecting(t *testing.T, workers, probeWorkers int, plan *faults.P
 		got[taskKey{o.Task.SourceIdx, o.Task.Dst}] = renderResult(o.Result)
 		mu.Unlock()
 	}
-	sum := r.Run(campaign.AllPairs(len(r.Sources), dsts))
+	sum := r.Run(context.Background(), campaign.AllPairs(len(r.Sources), dsts))
 	return sum, got
 }
 
@@ -112,7 +113,7 @@ func TestCampaignChaosVPBlackout(t *testing.T) {
 	if n == 0 {
 		t.Skip("no spoof-capable non-source sites")
 	}
-	sum := r.Run(campaign.AllPairs(len(r.Sources), dsts))
+	sum := r.Run(context.Background(), campaign.AllPairs(len(r.Sources), dsts))
 	if sum.Complete+sum.Aborted+sum.Failed != sum.Attempted {
 		t.Fatalf("status counts do not add up: %+v", sum)
 	}

@@ -152,8 +152,19 @@ func (c *cache) sweep(nowUS int64) {
 	c.metrics.evicted(evicted)
 }
 
+// keyLess orders cache keys so timestamp ties evict the same entry on
+// every run regardless of map iteration order.
+func keyLess(a, b cacheKey) bool {
+	if a.target != b.target {
+		return a.target < b.target
+	}
+	return a.src < b.src
+}
+
 // evictOldest removes the single oldest entry across both maps. It is the
 // slow path, only reached when unexpired entries alone exceed the cap.
+// Ties on age break by key (and rr before tr) so eviction is
+// deterministic under Go's randomized map iteration.
 func (c *cache) evictOldest() int {
 	var (
 		found    bool
@@ -161,13 +172,15 @@ func (c *cache) evictOldest() int {
 		oldestK  cacheKey
 		oldestUS int64
 	)
+	//revtr:unordered min-selection with total-order tie-break (age, then key); any iteration order picks the same entry
 	for k, e := range c.rr {
-		if !found || e.atUS < oldestUS {
+		if !found || e.atUS < oldestUS || (e.atUS == oldestUS && fromRR && keyLess(k, oldestK)) {
 			found, fromRR, oldestK, oldestUS = true, true, k, e.atUS
 		}
 	}
+	//revtr:unordered min-selection with total-order tie-break (age, then key); rr wins age ties over tr
 	for k, e := range c.tr {
-		if !found || e.atUS < oldestUS {
+		if !found || e.atUS < oldestUS || (e.atUS == oldestUS && !fromRR && keyLess(k, oldestK)) {
 			found, fromRR, oldestK, oldestUS = true, false, k, e.atUS
 		}
 	}

@@ -260,7 +260,7 @@ func (e *Engine) MeasureReverse(ctx context.Context, src Source, dst ipv4.Addr) 
 		ctx = context.Background()
 	}
 	m := &mctx{ctx: ctx}
-	wallStart := time.Now()
+	wallStart := time.Now() //revtr:wallclock engine wall-time metric, distinct from virtual probe time
 	res := &Result{
 		Src:  src.Agent.Addr,
 		Dst:  dst,
@@ -269,7 +269,7 @@ func (e *Engine) MeasureReverse(ctx context.Context, src Source, dst ipv4.Addr) 
 	defer func() {
 		res.Probes = m.count
 		e.flagSuspects(res)
-		e.metrics.outcome(res, time.Since(wallStart).Microseconds(), e.cache.size())
+		e.metrics.outcome(res, time.Since(wallStart).Microseconds(), e.cache.size()) //revtr:wallclock engine wall-time metric, distinct from virtual probe time
 	}()
 
 	cur := dst

@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -43,16 +44,18 @@ func LargeScale() Scale {
 	return Scale{ASes: 4000, Sites: 60, Probes: 600, AtlasSize: 150, Pairs: 2000, Sources: 8, Seed: 42}
 }
 
-// Experiment is one reproducible table or figure.
+// Experiment is one reproducible table or figure. Run takes the
+// caller's context (the context contract: measurement loops pass it to
+// every MeasureReverse, so a cancelled CLI run stops promptly).
 type Experiment struct {
 	ID    string
 	Paper string // which paper artifact it regenerates
-	Run   func(s Scale, w io.Writer) error
+	Run   func(ctx context.Context, s Scale, w io.Writer) error
 }
 
 var registry []Experiment
 
-func register(id, paper string, run func(Scale, io.Writer) error) {
+func register(id, paper string, run func(context.Context, Scale, io.Writer) error) {
 	registry = append(registry, Experiment{ID: id, Paper: paper, Run: run})
 }
 

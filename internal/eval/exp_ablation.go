@@ -18,7 +18,7 @@ import (
 // trust) and alias-dataset coverage (which bounds both reverse-hop
 // extraction and the accuracy evaluation itself).
 func init() {
-	register("ablation", "design-choice ablations (symmetry policy, alias coverage)", func(s Scale, w io.Writer) error {
+	register("ablation", "design-choice ablations (symmetry policy, alias coverage)", func(ctx context.Context, s Scale, w io.Writer) error {
 		d := deployment(s, vantage.Vintage2020)
 		src := d.SourceFromAgent(d.SiteAgents[0])
 		dests := probeDestinations(d)
@@ -42,7 +42,7 @@ func init() {
 					continue
 				}
 				r.n++
-				res := eng.MeasureReverse(context.Background(), src, dst.Addr)
+				res := eng.MeasureReverse(ctx, src, dst.Addr)
 				if res.Status != core.StatusComplete {
 					continue
 				}
@@ -98,7 +98,7 @@ func init() {
 					continue
 				}
 				n++
-				r := eng.MeasureReverse(context.Background(), src, dst.Addr)
+				r := eng.MeasureReverse(ctx, src, dst.Addr)
 				if r.Status != core.StatusComplete {
 					continue
 				}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -22,7 +23,7 @@ import (
 // (Fig 10 — a single RR packet records both sides of a link, so load
 // balancing does not make the measured path wrong).
 func init() {
-	register("appxE", "Appx E: destination-based routing violations", func(s Scale, w io.Writer) error {
+	register("appxE", "Appx E: destination-based routing violations", func(ctx context.Context, s Scale, w io.Writer) error {
 		d := deployment(s, vantage.Vintage2020)
 		rng := rand.New(rand.NewSource(s.Seed + 13))
 		dests := d.OnePerPrefix()
@@ -83,8 +84,11 @@ func init() {
 					violations++
 					a1, ok1 := d.Mapper.ASOf(rNext)
 					var other ipv4.Addr
+					//revtr:unordered min-selection; nextHops has exactly one key here (len>1 excluded above)
 					for h := range nextHops {
-						other = h
+						if other == 0 || h < other {
+							other = h
+						}
 					}
 					a2, ok2 := d.Mapper.ASOf(other)
 					if ok1 && ok2 && a1 != a2 {
@@ -108,8 +112,8 @@ func init() {
 
 	// Appendix B.2: how much would a bdrmapit-quality IP-to-AS mapping
 	// change revtr 2.0's intradomain/interdomain decisions?
-	register("appxB2", "Appx B.2: IP-to-AS mapping ablation on symmetry decisions", func(s Scale, w io.Writer) error {
-		f := runFig5(s)
+	register("appxB2", "Appx B.2: IP-to-AS mapping ablation on symmetry decisions", func(ctx context.Context, s Scale, w io.Writer) error {
+		f := runFig5(ctx, s)
 		d := f.d
 		origin := ip2as.Origin{Topo: d.Topo}
 		bdr := ip2as.NewBdrmap(d.Topo, 0.99, 0.001, s.Seed+14)
@@ -160,10 +164,10 @@ func init() {
 	})
 
 	// Table 1 rollup: the quantitative insight claims, measured.
-	register("insights", "Table 1: quantitative insight rollup", func(s Scale, w io.Writer) error {
-		f := runFig5(s)
+	register("insights", "Table 1: quantitative insight rollup", func(ctx context.Context, s Scale, w io.Writer) error {
+		f := runFig5(ctx, s)
 		t2 := runTable2(s)
-		a := runAsym(s)
+		a := runAsym(ctx, s)
 		d20 := deploymentNoSurvey(s)
 		sv := runSurvey(d20, s.Pairs)
 

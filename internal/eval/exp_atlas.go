@@ -2,10 +2,10 @@ package eval
 
 import (
 	"context"
-
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"revtr"
@@ -149,7 +149,7 @@ func greedyOptimal(pool [][]ipv4.Addr, weightSet [][]ipv4.Addr, k int) [][]ipv4.
 }
 
 func init() {
-	register("fig9a", "Fig 9a: atlas savings vs size, random vs optimal", func(s Scale, w io.Writer) error {
+	register("fig9a", "Fig 9a: atlas savings vs size, random vs optimal", func(ctx context.Context, s Scale, w io.Writer) error {
 		corpora := buildCorpora(s)
 		rng := rand.New(rand.NewSource(s.Seed + 5))
 		t := &Table{
@@ -179,7 +179,7 @@ func init() {
 		return nil
 	})
 
-	register("fig9b", "Fig 9b: Random++ replacement converges to optimal", func(s Scale, w io.Writer) error {
+	register("fig9b", "Fig 9b: Random++ replacement converges to optimal", func(ctx context.Context, s Scale, w io.Writer) error {
 		corpora := buildCorpora(s)
 		rng := rand.New(rand.NewSource(s.Seed + 6))
 		frac := 0.2
@@ -202,14 +202,21 @@ func init() {
 				inAtlas[i] = true
 			}
 			for iter := 0; iter < len(perIter); iter++ {
-				var set [][]ipv4.Addr
+				// Iterate atlas membership in sorted order: the first-writer-
+				// wins index below must not depend on map iteration order.
+				members := make([]int, 0, len(inAtlas))
 				for i := range inAtlas {
+					members = append(members, i)
+				}
+				sort.Ints(members)
+				var set [][]ipv4.Addr
+				for _, i := range members {
 					set = append(set, c.pool[i])
 				}
 				perIter[iter].Add(meanIntersected(set, c.revtrs))
 				// Keep entries whose hops provided a first intersection.
 				index := map[ipv4.Addr]int{}
-				for i := range inAtlas {
+				for _, i := range members {
 					for _, h := range c.pool[i] {
 						if _, dup := index[h]; !dup {
 							index[h] = i
@@ -249,7 +256,7 @@ func init() {
 		return nil
 	})
 
-	register("fig9c", "Fig 9c: savings stable as reverse traceroutes scale", func(s Scale, w io.Writer) error {
+	register("fig9c", "Fig 9c: savings stable as reverse traceroutes scale", func(ctx context.Context, s Scale, w io.Writer) error {
 		corpora := buildCorpora(s)
 		rng := rand.New(rand.NewSource(s.Seed + 7))
 		t := &Table{
@@ -282,7 +289,7 @@ func init() {
 		return nil
 	})
 
-	register("fig9d", "Fig 9d: atlas staleness over a day of churn", func(s Scale, w io.Writer) error {
+	register("fig9d", "Fig 9d: atlas staleness over a day of churn", func(ctx context.Context, s Scale, w io.Writer) error {
 		// Dedicated deployment: churn mutates routing state.
 		cfg := revtr.Config{
 			Topology:      topology.DefaultConfig(s.ASes),
@@ -326,7 +333,7 @@ func init() {
 				if dst.AS == src.Agent.AS {
 					continue
 				}
-				res := eng.MeasureReverse(context.Background(), src, dst.Addr)
+				res := eng.MeasureReverse(ctx, src, dst.Addr)
 				total++
 				for _, use := range res.AtlasUses {
 					e := use.Entry

@@ -40,7 +40,7 @@ var (
 	campCache = map[string]*campaignData{}
 )
 
-func runCampaign(s Scale) *campaignData {
+func runCampaign(ctx context.Context, s Scale) *campaignData {
 	key := fig5Key(s)
 	campMu.Lock()
 	if c, ok := campCache[key]; ok {
@@ -67,7 +67,7 @@ func runCampaign(s Scale) *campaignData {
 		}
 		n++
 		fwd := d.Prober.Traceroute(src.Agent, dst.Addr)
-		rev := eng.MeasureReverse(context.Background(), src, dst.Addr)
+		rev := eng.MeasureReverse(ctx, src, dst.Addr)
 		c.recs = append(c.recs, campaignRec{srcIdx: srcIdx, dst: dst, fwd: fwd, rev: rev})
 	}
 
@@ -109,8 +109,8 @@ type table3Row struct {
 	completeness float64
 }
 
-func runTable3(s Scale) (revtrRow, ripeRow, fwdRow table3Row, userWeighted float64) {
-	c := runCampaign(s)
+func runTable3(ctx context.Context, s Scale) (revtrRow, ripeRow, fwdRow table3Row, userWeighted float64) {
+	c := runCampaign(ctx, s)
 	d := c.d
 	totalASes := float64(len(d.Topo.ASes))
 	truth := d.TruthMapper
@@ -230,8 +230,8 @@ type asymData struct {
 	posTot map[int][]int
 }
 
-func runAsym(s Scale) *asymData {
-	c := runCampaign(s)
+func runAsym(ctx context.Context, s Scale) *asymData {
+	c := runCampaign(ctx, s)
 	d := c.d
 	a := &asymData{
 		asymCount: map[topology.ASN]int{},
@@ -307,8 +307,8 @@ func runAsym(s Scale) *asymData {
 }
 
 func init() {
-	register("table3", "Table 3 + §5.1: reverse AS graph correctness/completeness", func(s Scale, w io.Writer) error {
-		rt, ripe, fwd, uw := runTable3(s)
+	register("table3", "Table 3 + §5.1: reverse AS graph correctness/completeness", func(ctx context.Context, s Scale, w io.Writer) error {
+		rt, ripe, fwd, uw := runTable3(ctx, s)
 		t := &Table{
 			Title:  "Table 3 — reverse AS graph by technique",
 			Header: []string{"technique", "correctness", "completeness"},
@@ -322,8 +322,8 @@ func init() {
 		return nil
 	})
 
-	register("fig8a", "Fig 8a: path asymmetry at router and AS granularity", func(s Scale, w io.Writer) error {
-		a := runAsym(s)
+	register("fig8a", "Fig 8a: path asymmetry at router and AS granularity", func(ctx context.Context, s Scale, w io.Writer) error {
+		a := runAsym(ctx, s)
 		t := &Table{
 			Title:  "Fig 8a — fraction of forward hops also on the reverse path",
 			Header: []string{"granularity", "n", "frac-symmetric(=1.0)", "median", "p25"},
@@ -337,9 +337,9 @@ func init() {
 		return nil
 	})
 
-	register("fig8b", "Fig 8b: asymmetry involvement vs customer cone", func(s Scale, w io.Writer) error {
-		a := runAsym(s)
-		c := runCampaign(s)
+	register("fig8b", "Fig 8b: asymmetry involvement vs customer cone", func(ctx context.Context, s Scale, w io.Writer) error {
+		a := runAsym(ctx, s)
+		c := runCampaign(ctx, s)
 		type row struct {
 			asn  topology.ASN
 			prev float64
@@ -375,9 +375,9 @@ func init() {
 		return nil
 	})
 
-	register("table7", "Table 7: top-10 ASes in path asymmetry", func(s Scale, w io.Writer) error {
-		a := runAsym(s)
-		c := runCampaign(s)
+	register("table7", "Table 7: top-10 ASes in path asymmetry", func(ctx context.Context, s Scale, w io.Writer) error {
+		a := runAsym(ctx, s)
+		c := runCampaign(ctx, s)
 		type row struct {
 			asn  topology.ASN
 			prev float64
@@ -405,8 +405,8 @@ func init() {
 		return nil
 	})
 
-	register("fig12", "Fig 12: symmetry without assumption-bearing paths", func(s Scale, w io.Writer) error {
-		a := runAsym(s)
+	register("fig12", "Fig 12: symmetry without assumption-bearing paths", func(ctx context.Context, s Scale, w io.Writer) error {
+		a := runAsym(ctx, s)
 		t := &Table{
 			Title:  "Fig 12 — symmetry for reverse traceroutes with no symmetry assumptions",
 			Header: []string{"granularity", "n", "frac-symmetric", "median"},
@@ -418,8 +418,8 @@ func init() {
 		return nil
 	})
 
-	register("fig13", "Fig 13: AS-path length of (a)symmetric paths", func(s Scale, w io.Writer) error {
-		a := runAsym(s)
+	register("fig13", "Fig 13: AS-path length of (a)symmetric paths", func(ctx context.Context, s Scale, w io.Writer) error {
+		a := runAsym(ctx, s)
 		t := &Table{
 			Title:  "Fig 13 — AS-path length distribution",
 			Header: []string{"subset", "n", "mean", "p50", "p90"},
@@ -439,8 +439,8 @@ func init() {
 		return nil
 	})
 
-	register("fig14", "Fig 14: hop presence on reverse path by position", func(s Scale, w io.Writer) error {
-		a := runAsym(s)
+	register("fig14", "Fig 14: hop presence on reverse path by position", func(ctx context.Context, s Scale, w io.Writer) error {
+		a := runAsym(ctx, s)
 		t := &Table{
 			Title:  "Fig 14 — P(forward AS hop also on reverse path) by position",
 			Header: []string{"AS-path len", "positions (src ... dst)"},

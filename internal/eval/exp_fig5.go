@@ -120,7 +120,7 @@ func fig5Configs(d *revtr.Deployment) map[string]struct {
 }
 
 // runFig5 executes (or returns the cached) §5.2 workload at scale s.
-func runFig5(s Scale) *fig5Data {
+func runFig5(ctx context.Context, s Scale) *fig5Data {
 	fig5Mu.Lock()
 	if f, ok := fig5Cache[fig5Key(s)]; ok {
 		fig5Mu.Unlock()
@@ -175,7 +175,7 @@ func runFig5(s Scale) *fig5Data {
 		eng := d.EngineWithAdjacencies(c.opts, c.adj)
 		st := &runStats{name: name}
 		for i, p := range pairs {
-			r := eng.MeasureReverse(context.Background(), f.sources[p.srcIdx], p.dst.Addr)
+			r := eng.MeasureReverse(ctx, f.sources[p.srcIdx], p.dst.Addr)
 			st.attempted++
 			if r.Status == core.StatusComplete {
 				st.completed++
@@ -318,8 +318,8 @@ func scoreAccuracy(d *revtr.Deployment, st *runStats) accuracy {
 }
 
 func init() {
-	register("table4", "Table 4: probe counts per ablation stage", func(s Scale, w io.Writer) error {
-		f := runFig5(s)
+	register("table4", "Table 4: probe counts per ablation stage", func(ctx context.Context, s Scale, w io.Writer) error {
+		f := runFig5(ctx, s)
 		t := &Table{
 			Title:  "Table 4 — packets sent per configuration (lower is better)",
 			Header: []string{"configuration", "RR", "SpoofRR", "TS", "SpoofTS", "Total"},
@@ -339,8 +339,8 @@ func init() {
 		return nil
 	})
 
-	register("fig5a", "Fig 5a: accuracy vs direct traceroutes", func(s Scale, w io.Writer) error {
-		f := runFig5(s)
+	register("fig5a", "Fig 5a: accuracy vs direct traceroutes", func(ctx context.Context, s Scale, w io.Writer) error {
+		f := runFig5(ctx, s)
 		a20 := scoreAccuracy(f.d, f.byName["revtr2.0"])
 		a10 := scoreAccuracy(f.d, f.byName["revtr1.0"])
 		t := &Table{
@@ -369,8 +369,8 @@ func init() {
 		return nil
 	})
 
-	register("fig5b", "Fig 5b: coverage per configuration", func(s Scale, w io.Writer) error {
-		f := runFig5(s)
+	register("fig5b", "Fig 5b: coverage per configuration", func(ctx context.Context, s Scale, w io.Writer) error {
+		f := runFig5(ctx, s)
 		t := &Table{
 			Title:  "Fig 5b — coverage (completed / attempted)",
 			Header: []string{"technique", "coverage", "completed", "attempted"},
@@ -385,8 +385,8 @@ func init() {
 		return nil
 	})
 
-	register("fig5c", "Fig 5c: latency CDF per configuration", func(s Scale, w io.Writer) error {
-		f := runFig5(s)
+	register("fig5c", "Fig 5c: latency CDF per configuration", func(ctx context.Context, s Scale, w io.Writer) error {
+		f := runFig5(ctx, s)
 		t := &Table{
 			Title:  "Fig 5c — reverse traceroute duration (seconds)",
 			Header: []string{"configuration", "p10", "p50", "p90", "mean"},
@@ -401,8 +401,8 @@ func init() {
 		return nil
 	})
 
-	register("appxD1", "Appx D.1: marginal utility of Timestamp", func(s Scale, w io.Writer) error {
-		f := runFig5(s)
+	register("appxD1", "Appx D.1: marginal utility of Timestamp", func(ctx context.Context, s Scale, w io.Writer) error {
+		f := runFig5(ctx, s)
 		no := f.byName["revtr2.0"]
 		ts := f.byName["revtr2.0+TS"]
 		oracle := f.byName["revtr2.0+TS+oracle-adj"]

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -195,7 +196,7 @@ func extractAfterTarget(recorded []ipv4.Addr, target ipv4.Addr) []ipv4.Addr {
 }
 
 func init() {
-	register("table2", "Table 2: penultimate-hop symmetry by link type", func(s Scale, w io.Writer) error {
+	register("table2", "Table 2: penultimate-hop symmetry by link type", func(ctx context.Context, s Scale, w io.Writer) error {
 		res := runTable2(s)
 		t := &Table{
 			Title:  "Table 2 — penultimate traceroute hop also on the reverse path?",

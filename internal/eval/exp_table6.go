@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -94,7 +95,7 @@ func rrDistanceTo(recorded []ipv4.Addr, dst ipv4.Addr) int {
 }
 
 func init() {
-	register("table6", "Table 6: RR responsiveness and reachability, 2016 vs 2020", func(s Scale, w io.Writer) error {
+	register("table6", "Table 6: RR responsiveness and reachability, 2016 vs 2020", func(ctx context.Context, s Scale, w io.Writer) error {
 		d20 := deploymentNoSurvey(s)
 		d16 := deployment2016(s)
 		st20 := runSurvey(d20, 2*s.Pairs)
@@ -121,7 +122,7 @@ func init() {
 		return nil
 	})
 
-	register("fig11", "Fig 11 + Appx F: closest-VP RR distance, 2016 vs 2020; spoofing gain", func(s Scale, w io.Writer) error {
+	register("fig11", "Fig 11 + Appx F: closest-VP RR distance, 2016 vs 2020; spoofing gain", func(ctx context.Context, s Scale, w io.Writer) error {
 		d20 := deploymentNoSurvey(s)
 		d16 := deployment2016(s)
 		st20 := runSurvey(d20, 2*s.Pairs)

@@ -182,11 +182,11 @@ func (e *teEnv) measure() *teRound {
 // reverseSplit measures reverse traceroutes from the given targets with
 // the anycast source and tallies, for paths traversing carrier, the site
 // each target's traffic lands at (the Fig 7 left-hand pie).
-func (e *teEnv) reverseSplit(r *teRound, targets []*topology.Host, carrier topology.ASN) (map[int]int, int) {
+func (e *teEnv) reverseSplit(ctx context.Context, r *teRound, targets []*topology.Host, carrier topology.ASN) (map[int]int, int) {
 	split := map[int]int{}
 	seenOnRev := 0
 	for _, h := range targets {
-		res := e.eng.MeasureReverse(context.Background(), e.source, h.Addr)
+		res := e.eng.MeasureReverse(ctx, e.source, h.Addr)
 		if res.Status != core.StatusComplete {
 			continue
 		}
@@ -262,6 +262,7 @@ func (e *teEnv) dominantCarrier(r *teRound) topology.ASN {
 	}
 	best := key{topology.None, -1}
 	bestScore := 0.0
+	//revtr:unordered max-selection with total-order tie-break (score, then carrier, then site); any iteration order picks the same pair
 	for k, d := range rtts {
 		if d.N() < 5 {
 			continue // need a few suffering clients
@@ -273,7 +274,8 @@ func (e *teEnv) dominantCarrier(r *teRound) topology.ASN {
 		if len(altSites) < 2 {
 			continue // poisoning one site must leave alternatives
 		}
-		if score := d.Mean() * float64(d.N()); score > bestScore {
+		score := d.Mean() * float64(d.N())
+		if score > bestScore || (score == bestScore && bestScore > 0 && (k.c < best.c || (k.c == best.c && k.s < best.s))) {
 			best, bestScore = k, score
 		}
 	}
@@ -304,7 +306,7 @@ func sitesShare(m map[int]int, names []string) string {
 }
 
 func init() {
-	register("fig7", "Fig 7 (§6.1): traffic engineering with reverse traceroutes", func(s Scale, w io.Writer) error {
+	register("fig7", "Fig 7 (§6.1): traffic engineering with reverse traceroutes", func(ctx context.Context, s Scale, w io.Writer) error {
 		e := buildTE(s)
 
 		fmt.Fprintln(w, "== Fig 7 — anycast traffic engineering on the PEERING-like testbed ==")
@@ -334,13 +336,13 @@ func init() {
 			if len(affected) > s.Pairs/3 {
 				affected = affected[:s.Pairs/3]
 			}
-			split, seen := e.reverseSplit(base, affected, carrier)
+			split, seen := e.reverseSplit(ctx, base, affected, carrier)
 			fmt.Fprintf(w, "  carrier AS%d (%s, cone %d): %d reverse paths verified through it; site split: %s\n",
 				carrier, e.d.Topo.ASes[carrier].Tier, e.d.Topo.ASes[carrier].ConeSize,
 				seen, sitesShare(split, e.siteName))
 			e.ann.Sites[e.poisonSite].Poison = []topology.ASN{carrier}
 			after := e.measure()
-			split2, _ := e.reverseSplit(after, affected, carrier)
+			split2, _ := e.reverseSplit(ctx, after, affected, carrier)
 			fmt.Fprintf(w, "  after poisoning AS%d on the %s announcement: site split %s\n",
 				carrier, e.siteName[e.poisonSite], sitesShare(split2, e.siteName))
 			var rttBefore, rttAfter Dist
@@ -403,8 +405,9 @@ func init() {
 		}
 		var f1 topology.ASN = topology.None
 		bestN := 0
+		//revtr:unordered max-selection with tie-break on smallest ASN; any iteration order picks the same feeder
 		for asn, n := range feeder {
-			if n > bestN {
+			if n > bestN || (n == bestN && asn < f1) {
 				f1, bestN = asn, n
 			}
 		}
@@ -438,8 +441,9 @@ func init() {
 		}
 		var f2 topology.ASN = topology.None
 		bestN = 0
+		//revtr:unordered max-selection with tie-break on smallest ASN; any iteration order picks the same feeder
 		for asn, n := range feeder2 {
-			if n > bestN {
+			if n > bestN || (n == bestN && asn < f2) {
 				f2, bestN = asn, n
 			}
 		}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -18,7 +19,7 @@ func TestAllExperimentsRunAtSmallScale(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(s, &buf); err != nil {
+			if err := e.Run(context.Background(), s, &buf); err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
 			if buf.Len() < 40 {
@@ -36,7 +37,7 @@ func TestFig5ShapesHold(t *testing.T) {
 		t.Skip("runs the fig5 workload")
 	}
 	s := MediumScale()
-	f := runFig5(s)
+	f := runFig5(context.Background(), s)
 	r10 := f.byName["revtr1.0"]
 	r20 := f.byName["revtr2.0"]
 
@@ -111,7 +112,7 @@ func TestExperimentOutputMentionsPaper(t *testing.T) {
 	}
 	e, _ := Find("fig9a")
 	var buf bytes.Buffer
-	if err := e.Run(SmallScale(), &buf); err != nil {
+	if err := e.Run(context.Background(), SmallScale(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "paper:") {

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -18,8 +19,8 @@ import (
 //
 // The realizable rate is the smaller of the two.
 func init() {
-	register("throughput", "§5.2.4: system throughput, revtr 1.0 vs 2.0", func(s Scale, w io.Writer) error {
-		f := runFig5(s)
+	register("throughput", "§5.2.4: system throughput, revtr 1.0 vs 2.0", func(ctx context.Context, s Scale, w io.Writer) error {
+		f := runFig5(ctx, s)
 		nSites := float64(len(f.d.SiteAgents))
 		const parallel = 1000.0 // concurrent measurements the service sustains
 		const ppsPerVP = 100.0  // §8's self-imposed probing cap

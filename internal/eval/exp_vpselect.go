@@ -1,8 +1,10 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"revtr"
@@ -169,10 +171,18 @@ func runHeuristicAblation(s Scale, v *vpselData) map[string]int {
 		"ingress + double-stamp":  {DoubleStamp: true},
 	} {
 		svc := ingress.NewService(d.Prober, d.SiteAgents, heur, s.Seed)
+		// Survey consumes the service's seeded stream per prefix, so the
+		// prefix order must be deterministic, not map order.
 		var prefixes []ipv4.Prefix
 		for pfx := range v.evalDst {
 			prefixes = append(prefixes, pfx)
 		}
+		sort.Slice(prefixes, func(i, j int) bool {
+			if prefixes[i].Addr != prefixes[j].Addr {
+				return prefixes[i].Addr < prefixes[j].Addr
+			}
+			return prefixes[i].Bits < prefixes[j].Bits
+		})
 		svc.Survey(prefixes, d.SurveyDestinations)
 		found := 0
 		for pfx, dst := range v.evalDst {
@@ -190,7 +200,7 @@ func runHeuristicAblation(s Scale, v *vpselData) map[string]int {
 }
 
 func init() {
-	register("fig6", "Fig 6a-c: RR vantage point selection", func(s Scale, w io.Writer) error {
+	register("fig6", "Fig 6a-c: RR vantage point selection", func(ctx context.Context, s Scale, w io.Writer) error {
 		v := runVPSel(s)
 		t := &Table{
 			Title:  "Fig 6a — reverse hops uncovered by the first batch (ingress plan)",
@@ -233,7 +243,7 @@ func init() {
 		return nil
 	})
 
-	register("table5", "Table 5: VP found within 8 RR hops per technique", func(s Scale, w io.Writer) error {
+	register("table5", "Table 5: VP found within 8 RR hops per technique", func(ctx context.Context, s Scale, w io.Writer) error {
 		v := runVPSel(s)
 		abl := runHeuristicAblation(s, v)
 		t := &Table{

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"revtr/internal/detrand"
 	"revtr/internal/measure"
 	"revtr/internal/netsim/ipv4"
 )
@@ -88,7 +89,7 @@ func NewService(p *measure.Prober, sites []measure.Agent, heur Heuristics, seed 
 		Sites:  sites,
 		Heur:   heur,
 		Info:   make(map[ipv4.Prefix]*PrefixInfo),
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    detrand.New(seed, "ingress.tiebreak"),
 	}
 }
 
@@ -204,6 +205,7 @@ func (s *Service) selectIngresses(info *PrefixInfo) {
 		var best ipv4.Addr
 		bestGain := 0
 		var tied []ipv4.Addr
+		//revtr:unordered every max-gain candidate lands in tied, which is sorted before the seeded pick below
 		for cand, sites := range sitesOf {
 			gain := 0
 			for _, si := range sites {

@@ -1,0 +1,133 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis surface the revtr-lint suite needs:
+// an Analyzer runs over one type-checked package at a time and reports
+// position-tagged diagnostics. The container this repo builds in has no
+// module proxy access, so the framework is grown from the standard
+// library (go/ast, go/types) instead of imported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named, self-contained static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "detpath").
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and identifier facts.
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// NewPass assembles a pass; report receives every diagnostic.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, report: report}
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a rendered diagnostic, ready for printing or comparison.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// SortFindings orders findings by file, line, column, then analyzer, so
+// suite output is deterministic (the lint tool practices what it
+// preaches).
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil
+// for calls through function values, builtins, and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the named package-level function (or
+// method, when fn has a receiver) of the package with the given path.
+func IsPkgFunc(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// WalkStack traverses the file like ast.Inspect but hands visit the full
+// ancestor stack (stack[len(stack)-1] == n).
+func WalkStack(file *ast.File, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		visit(n, stack)
+		return true
+	})
+}

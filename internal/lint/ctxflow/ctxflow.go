@@ -1,0 +1,249 @@
+// Package ctxflow enforces the context contract established in PR 2:
+// cancellation flows from the caller down through every layer that
+// issues probes or blocks. Three rules, applied to every non-main,
+// non-test package:
+//
+//  1. An exported function or method that takes a context.Context must
+//     take it as the first parameter.
+//
+//  2. An exported function or method that issues context-aware work
+//     (calls anything whose first parameter is a context.Context) or
+//     blocks (channel operations, select, sync.WaitGroup.Wait,
+//     sync.Cond.Wait, time.Sleep) must itself take a context.Context.
+//
+//  3. context.Background() and context.TODO() must not be synthesized
+//     outside package main and tests: minting a fresh context severs
+//     the caller's cancellation. The one allowed shape is nil-context
+//     normalization at an API boundary:
+//
+//     if ctx == nil {
+//     ctx = context.Background()
+//     }
+//
+// which preserves the caller's context whenever one was provided.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"revtr/internal/lint/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported probe-issuing/blocking functions take ctx first; context.Background only in main, tests, and nil-normalization",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSignature(pass, fd)
+		}
+		checkBackground(pass, f)
+	}
+	return nil
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// exported reports whether fd is part of the package's exported API
+// (exported name; for methods, an exported receiver type too).
+func exported(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := pass.Info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Exported()
+	}
+	return true
+}
+
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !exported(pass, fd) {
+		return
+	}
+	obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	hasCtx := false
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) {
+			hasCtx = true
+			if i != 0 {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s takes context.Context as parameter %d; the context contract requires it first", fd.Name.Name, i+1)
+			}
+		}
+	}
+	if hasCtx {
+		return
+	}
+	if why := issuesOrBlocks(pass, fd.Body); why != "" {
+		pass.Reportf(fd.Name.Pos(),
+			"exported %s %s but takes no context.Context; add ctx as the first parameter so callers can cancel it", fd.Name.Name, why)
+	}
+}
+
+// issuesOrBlocks scans the body for probe-issuing calls (any callee whose
+// first parameter is a context.Context, at any closure depth — work
+// started in a goroutine still needs the caller's context) and for
+// direct blocking operations (top level only: blocking inside a spawned
+// goroutine does not block the exported caller).
+func issuesOrBlocks(pass *analysis.Pass, body *ast.BlockStmt) string {
+	why := ""
+	depth := 0
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			depth++
+			ast.Inspect(n.Body, visit)
+			depth--
+			return false
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(pass.Info, n); fn != nil {
+				if analysis.IsPkgFunc(fn, "time", "Sleep") {
+					if depth == 0 {
+						why = "blocks (time.Sleep)"
+					}
+					return true
+				}
+				if analysis.IsPkgFunc(fn, "sync", "Wait") {
+					if depth == 0 {
+						why = "blocks (sync." + recvTypeName(fn) + ".Wait)"
+					}
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					if p := sig.Params(); p.Len() > 0 && isContext(p.At(0).Type()) {
+						why = "issues context-aware work (calls " + fn.Name() + ")"
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if depth == 0 {
+				why = "blocks (channel send)"
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && depth == 0 {
+				why = "blocks (channel receive)"
+			}
+		case *ast.SelectStmt:
+			if depth == 0 {
+				why = "blocks (select)"
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return why
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "?"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkBackground flags context.Background()/TODO() synthesis outside
+// the nil-normalization idiom.
+func checkBackground(pass *analysis.Pass, f *ast.File) {
+	analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := analysis.CalleeFunc(pass.Info, call)
+		if !analysis.IsPkgFunc(fn, "context", "Background", "TODO") {
+			return
+		}
+		if fn.Name() == "Background" && isNilNormalization(pass, call, stack) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() synthesized outside main/tests severs the caller's cancellation; thread the caller's ctx through (or normalize only via `if ctx == nil { ctx = context.Background() }`)", fn.Name())
+	})
+}
+
+// isNilNormalization matches `if x == nil { x = context.Background() }`.
+func isNilNormalization(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	// stack: ... IfStmt BlockStmt AssignStmt CallExpr
+	if len(stack) < 4 {
+		return false
+	}
+	as, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Rhs[0] != call {
+		return false
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ifStmt, ok := stack[len(stack)-4].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	cond, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	x, y := ast.Unparen(cond.X), ast.Unparen(cond.Y)
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		id, ok := pair[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		nilIdent, ok := pair[1].(*ast.Ident)
+		if !ok || nilIdent.Name != "nil" {
+			continue
+		}
+		if pass.Info.ObjectOf(id) == pass.Info.ObjectOf(lhs) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+// Package directive parses the //revtr: escape-hatch comments the lint
+// suite honours. The grammar is
+//
+//	//revtr:wallclock <justification>
+//	//revtr:unordered <justification>
+//
+// A directive suppresses matching diagnostics on the line it occupies
+// (trailing comment) and on the line directly below it (standalone
+// comment above the flagged statement). The justification is mandatory:
+// a directive without one is itself a diagnostic, so every escape hatch
+// in the tree carries its reason next to the code it excuses.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive kinds.
+const (
+	// Wallclock excuses an intentional time.Now/time.Since site (real
+	// wall-clock observability, never simulation logic).
+	Wallclock = "wallclock"
+	// Unordered excuses a map range whose body is order-independent in a
+	// way the analyzer cannot prove.
+	Unordered = "unordered"
+)
+
+const prefix = "//revtr:"
+
+// Directive is one parsed //revtr: comment.
+type Directive struct {
+	Kind          string
+	Justification string
+	Pos           token.Pos
+}
+
+// Problem is a malformed directive (unknown kind or no justification).
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Map indexes a package's directives by file and line.
+type Map struct {
+	byLine   map[string]map[int][]Directive // filename -> line -> directives
+	problems []Problem
+}
+
+// Parse extracts every //revtr: directive from the files' comments.
+func Parse(fset *token.FileSet, files []*ast.File) *Map {
+	m := &Map{byLine: map[string]map[int][]Directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				body := strings.TrimPrefix(c.Text, prefix)
+				kind, just, _ := strings.Cut(body, " ")
+				just = strings.TrimSpace(just)
+				switch kind {
+				case Wallclock, Unordered:
+				default:
+					m.problems = append(m.problems, Problem{
+						Pos:     c.Pos(),
+						Message: "unknown revtr directive //revtr:" + kind + " (known kinds: wallclock, unordered)",
+					})
+					continue
+				}
+				if just == "" {
+					m.problems = append(m.problems, Problem{
+						Pos:     c.Pos(),
+						Message: "//revtr:" + kind + " requires a justification (//revtr:" + kind + " <why>)",
+					})
+					// Still index it: an unjustified directive suppresses the
+					// underlying diagnostic so the author sees one actionable
+					// message (add the justification), not two.
+				}
+				pos := fset.Position(c.Pos())
+				lines := m.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]Directive{}
+					m.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], Directive{Kind: kind, Justification: just, Pos: c.Pos()})
+			}
+		}
+	}
+	return m
+}
+
+// Allows reports whether a diagnostic of the given kind at pos is
+// suppressed by a directive on the same line or the line above.
+func (m *Map) Allows(fset *token.FileSet, pos token.Pos, kind string) bool {
+	p := fset.Position(pos)
+	lines, ok := m.byLine[p.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, d := range lines[line] {
+			if d.Kind == kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Problems lists the malformed directives found during Parse.
+func (m *Map) Problems() []Problem { return m.problems }

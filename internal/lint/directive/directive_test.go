@@ -1,0 +1,81 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"revtr/internal/lint/directive"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestJustifiedDirectiveSuppresses(t *testing.T) {
+	fset, files := parse(t, `package p
+
+func f() {
+	_ = 0 //revtr:wallclock operator-facing metric
+	_ = 1
+	//revtr:unordered commutative body
+	_ = 2
+}
+`)
+	m := directive.Parse(fset, files)
+	if len(m.Problems()) != 0 {
+		t.Fatalf("unexpected problems: %v", m.Problems())
+	}
+	pos := func(line int) token.Pos {
+		return fset.File(files[0].Pos()).LineStart(line)
+	}
+	if !m.Allows(fset, pos(4), directive.Wallclock) {
+		t.Error("trailing directive should allow its own line")
+	}
+	if !m.Allows(fset, pos(5), directive.Wallclock) {
+		t.Error("directive should allow the line below")
+	}
+	if m.Allows(fset, pos(6), directive.Wallclock) {
+		t.Error("directive must not reach two lines down")
+	}
+	if m.Allows(fset, pos(4), directive.Unordered) {
+		t.Error("wallclock directive must not allow unordered diagnostics")
+	}
+	if !m.Allows(fset, pos(7), directive.Unordered) {
+		t.Error("standalone directive should allow the statement below")
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	fset, files := parse(t, `package p
+
+func f() {
+	_ = 0 //revtr:wallclock
+	_ = 1 //revtr:frobnicate because
+}
+`)
+	m := directive.Parse(fset, files)
+	ps := m.Problems()
+	if len(ps) != 2 {
+		t.Fatalf("got %d problems, want 2: %v", len(ps), ps)
+	}
+	if !strings.Contains(ps[0].Message, "requires a justification") {
+		t.Errorf("problem 0 = %q, want justification complaint", ps[0].Message)
+	}
+	if !strings.Contains(ps[1].Message, "unknown revtr directive") {
+		t.Errorf("problem 1 = %q, want unknown-kind complaint", ps[1].Message)
+	}
+	// An unjustified directive still suppresses, so the author sees one
+	// actionable message rather than two.
+	if !m.Allows(fset, ps[0].Pos, directive.Wallclock) {
+		t.Error("unjustified wallclock directive should still suppress")
+	}
+}

@@ -1,0 +1,51 @@
+// Package lint assembles the revtr-lint suite: repo-specific go/analysis
+// style checkers that turn the determinism, context, and metrics
+// contracts (DESIGN.md "Determinism contract and static enforcement")
+// into compile-time gates. `make lint` / `make ci` run the suite over
+// the whole module via cmd/revtr-lint and fail on any diagnostic.
+package lint
+
+import (
+	"revtr/internal/lint/analysis"
+	"revtr/internal/lint/ctxflow"
+	"revtr/internal/lint/detpath"
+	"revtr/internal/lint/loader"
+	"revtr/internal/lint/locksafe"
+	"revtr/internal/lint/obsnames"
+)
+
+// Analyzers returns the suite in its fixed run order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detpath.Analyzer,
+		ctxflow.Analyzer,
+		obsnames.Analyzer,
+		locksafe.Analyzer,
+	}
+}
+
+// Run loads the packages matched by patterns (relative to dir) and runs
+// every analyzer over each, returning the sorted findings.
+func Run(dir string, patterns ...string) ([]analysis.Finding, error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []analysis.Finding
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			pass := analysis.NewPass(a, p.Fset, p.Files, p.Types, p.Info, func(d analysis.Diagnostic) {
+				findings = append(findings, analysis.Finding{
+					Position: p.Fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			})
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	analysis.SortFindings(findings)
+	return findings, nil
+}

@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"revtr/internal/lint"
+)
+
+// TestRepoIsClean is the suite's meta-test: the module itself must lint
+// clean, so `make lint` (and the lint step of `make ci`) stays a
+// zero-findings gate. Any new wall-clock read, global rand draw,
+// unsorted map range, or context/metrics/lock violation fails here
+// first, with the same message revtr-lint prints.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lint sweep type-checks the whole module; skipped in -short")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(root, "./...")
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,118 @@
+// Package linttest runs one analyzer over a testdata package and checks
+// its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest: every want comment must be
+// matched by a diagnostic on its line, and every diagnostic must be
+// expected by a want comment. Testdata packages live under
+// testdata/src/<name> and are real, compiling packages of this module,
+// so the analyzers are exercised against genuine type information.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"revtr/internal/lint/analysis"
+	"revtr/internal/lint/loader"
+)
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the package rooted at testdata/src/<pkg> (relative to the
+// calling test's directory) and asserts the analyzer's diagnostics match
+// the package's want comments.
+func Run(t *testing.T, testdata, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	pkgs, err := loader.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	p := pkgs[0]
+
+	var got []analysis.Finding
+	pass := analysis.NewPass(a, p.Fset, p.Files, p.Types, p.Info, func(d analysis.Diagnostic) {
+		got = append(got, analysis.Finding{
+			Position: p.Fset.Position(d.Pos),
+			Analyzer: a.Name,
+			Message:  d.Message,
+		})
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range p.Files {
+		collectWants(t, p.Fset, f, func(file string, line int, re *regexp.Regexp) {
+			k := key{file, line}
+			wants[k] = append(wants[k], re)
+		})
+	}
+
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range got {
+		k := key{f.Position.Filename, f.Position.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", relName(f.Position.Filename), f.Position.Line, f.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("missing diagnostic at %s:%d matching %q", relName(k.file), k.line, re)
+			}
+		}
+	}
+}
+
+func relName(path string) string { return filepath.Base(path) }
+
+// collectWants reports each `// want "re" ...` comment as (file, line,
+// regexp) triples for the line the comment sits on.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, emit func(string, int, *regexp.Regexp)) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, m := range wantRE.FindAllString(text[len("want "):], -1) {
+				pat, err := strconv.Unquote(m)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", relName(pos.Filename), pos.Line, m, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", relName(pos.Filename), pos.Line, pat, err)
+				}
+				emit(pos.Filename, pos.Line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package loader turns package patterns into parsed, type-checked
+// packages using only the standard library and the go tool. It shells
+// out to `go list -deps -export -json`, which compiles every dependency
+// to export data, then parses the matched packages' sources and
+// type-checks them against that export data via go/importer. This is the
+// same shape as golang.org/x/tools/go/packages' export-data mode, grown
+// locally because the build environment has no module proxy.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed, type-checked root package (a package matched by
+// the load patterns, as opposed to a dependency).
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry mirrors the `go list -json` fields the loader consumes.
+type listEntry struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir and returns the
+// matched packages, parsed with comments and fully type-checked. Test
+// files are not loaded: the determinism/context contracts deliberately
+// exempt tests, and `go list` only reports GoFiles.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,ImportMap",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := map[string]string{}   // import path -> export data file
+	importMap := map[string]string{} // source-level path -> real path
+	var roots []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		for from, to := range e.ImportMap {
+			importMap[from] = to
+		}
+		if !e.DepOnly && !e.Standard {
+			roots = append(roots, e)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if real, ok := importMap[path]; ok {
+			path = real
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, root := range roots {
+		var files []*ast.File
+		for _, name := range root.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(root.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", root.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(root.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", root.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath: root.ImportPath,
+			Name:    root.Name,
+			Dir:     root.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   pkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+// Package locksafe extends `go vet copylocks` with two repo-specific
+// mutex-hygiene checks:
+//
+//  1. Escaped critical sections: a function that calls mu.Lock() (or
+//     RLock) without a deferred unlock must unlock on every return path.
+//     The analyzer flags any return statement reachable between a Lock
+//     and its matching Unlock with no intervening Unlock — the shape
+//     that leaks a held mutex when an early return (or a newly added
+//     one) sneaks into a manually bracketed critical section.
+//  2. Guard leaks: a method of a struct that embeds or declares a
+//     sync.Mutex/RWMutex must not return a pointer to one of the
+//     struct's other fields — handing out &s.field lets callers mutate
+//     guarded state without the lock.
+//
+// The analysis is linear over source positions, not path-sensitive: the
+// manual unlock-before-every-return idiom passes, and conditional locks
+// may rarely over-report — prefer defer, which is also faster to reason
+// about in review.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"revtr/internal/lint/analysis"
+)
+
+// Analyzer is the locksafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "returns must not escape held mutexes; methods must not return pointers to mutex-guarded fields",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncBody(pass, fd.Body)
+			checkGuardedFieldReturn(pass, fd)
+		}
+	}
+	return nil
+}
+
+// mutexMethod resolves a call to a sync.Mutex / sync.RWMutex lock or
+// unlock method, returning the lock-expression key and the lock mode
+// ("w" for Lock/Unlock, "r" for RLock/RUnlock).
+func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) (key, mode, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock":
+		mode = "w"
+	case "RLock", "RUnlock":
+		mode = "r"
+	default:
+		return "", "", "", false
+	}
+	return types.ExprString(sel.X), mode, fn.Name(), true
+}
+
+type lockEvent struct {
+	pos    token.Pos
+	key    string // lock expression + mode
+	render string // lock expression for messages
+	kind   string // "lock", "unlock", "return"
+}
+
+// checkFuncBody simulates lock state linearly over one function body
+// (closures are checked as their own bodies).
+func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var events []lockEvent
+	deferred := map[string]bool{}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFuncBody(pass, n.Body)
+			return false
+		case *ast.DeferStmt:
+			if key, mode, name, ok := mutexMethod(pass, n.Call); ok && (name == "Unlock" || name == "RUnlock") {
+				deferred[key+"\x00"+mode] = true
+			} else if lit, isLit := ast.Unparen(n.Call.Fun).(*ast.FuncLit); isLit {
+				// A deferred closure is its own scope, but any unlock it
+				// performs runs at function exit, so it also counts as a
+				// deferred unlock for this body.
+				checkFuncBody(pass, lit.Body)
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, isCall := m.(*ast.CallExpr); isCall {
+						if key, mode, name, ok := mutexMethod(pass, call); ok && (name == "Unlock" || name == "RUnlock") {
+							deferred[key+"\x00"+mode] = true
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.CallExpr:
+			if key, mode, name, ok := mutexMethod(pass, n); ok {
+				kind := "lock"
+				if name == "Unlock" || name == "RUnlock" {
+					kind = "unlock"
+				}
+				events = append(events, lockEvent{n.Pos(), key + "\x00" + mode, key, kind})
+			}
+		case *ast.ReturnStmt:
+			events = append(events, lockEvent{n.Pos(), "", "", "return"})
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+
+	if len(events) == 0 {
+		return
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]string{} // key -> render, currently held
+	for _, e := range events {
+		switch e.kind {
+		case "lock":
+			if !deferred[e.key] {
+				held[e.key] = e.render
+			}
+		case "unlock":
+			delete(held, e.key)
+		case "return":
+			keys := make([]string, 0, len(held))
+			for k := range held {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				pass.Reportf(e.pos,
+					"return while %s is held (no Unlock between the Lock and this return); unlock before returning or use defer %s.Unlock()",
+					held[k], held[k])
+			}
+		}
+	}
+}
+
+// checkGuardedFieldReturn flags `return &recv.field` in methods of
+// structs that carry a sync.Mutex/RWMutex field.
+func checkGuardedFieldReturn(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	if recvName == "_" {
+		return
+	}
+	recvType := pass.Info.TypeOf(fd.Recv.List[0].Type)
+	if recvType == nil {
+		return
+	}
+	if p, ok := recvType.(*types.Pointer); ok {
+		recvType = p.Elem()
+	}
+	st, ok := recvType.Underlying().(*types.Struct)
+	if !ok || !hasMutexField(st) {
+		return
+	}
+	recvObj := pass.Info.ObjectOf(fd.Recv.List[0].Names[0])
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ue, ok := ast.Unparen(res).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			base, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || pass.Info.ObjectOf(base) != recvObj {
+				continue
+			}
+			if ft := pass.Info.TypeOf(sel); ft != nil && isSyncType(ft) {
+				continue // returning the locker itself (sync.Locker accessor)
+			}
+			pass.Reportf(ue.Pos(),
+				"returning &%s.%s hands out a pointer to a field of mutex-guarded %s; callers can then mutate it without the lock",
+				recvName, sel.Sel.Name, recvType.String())
+		}
+		return true
+	})
+}
+
+func hasMutexField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if isSyncType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSyncType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,91 @@
+// Package locks exercises the locksafe analyzer.
+package locks
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	state map[string]int
+	hits  int
+}
+
+// leakyReturn exits a manually bracketed critical section early.
+func (s *store) leakyReturn(k string) int {
+	s.mu.Lock()
+	v, ok := s.state[k]
+	if !ok {
+		return -1 // want "return while s.mu is held"
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// deferredUnlock is the preferred shape.
+func (s *store) deferredUnlock(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.state[k]; ok {
+		return v
+	}
+	return -1
+}
+
+// manualUnlockEveryPath unlocks before each return: allowed.
+func (s *store) manualUnlockEveryPath(k string) int {
+	s.mu.Lock()
+	if v, ok := s.state[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return -1
+}
+
+// deferredClosureUnlock unlocks inside a deferred closure: allowed.
+func (s *store) deferredClosureUnlock(k string) int {
+	s.mu.Lock()
+	defer func() {
+		s.hits++
+		s.mu.Unlock()
+	}()
+	if v, ok := s.state[k]; ok {
+		return v
+	}
+	return -1
+}
+
+type rw struct {
+	mu   sync.RWMutex
+	data []int
+}
+
+// readLeak leaks a read lock.
+func (r *rw) readLeak() int {
+	r.mu.RLock()
+	if len(r.data) == 0 {
+		return 0 // want "return while r.mu is held"
+	}
+	v := r.data[0]
+	r.mu.RUnlock()
+	return v
+}
+
+// guardLeak hands out a pointer to guarded state.
+func (s *store) guardLeak() *map[string]int {
+	return &s.state // want "returning &s.state hands out a pointer to a field of mutex-guarded"
+}
+
+// Locker exposes the mutex itself, which is the sync.Locker accessor
+// idiom, not a guarded-field leak.
+func (s *store) Locker() sync.Locker {
+	return &s.mu
+}
+
+// unguarded has no mutex, so pointers to fields are fine.
+type unguarded struct {
+	n int
+}
+
+func (u *unguarded) ptr() *int {
+	return &u.n
+}

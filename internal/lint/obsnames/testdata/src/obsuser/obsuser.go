@@ -1,0 +1,30 @@
+// Package obsuser exercises the obsnames analyzer against the real
+// internal/obs API.
+package obsuser
+
+import "revtr/internal/obs"
+
+const histName = "stage_wall_seconds" // named constants are compile-time too
+
+func registerAll(r *obs.Registry, dynamic string, site string) {
+	r.Counter("probes_total").Inc()
+	r.Gauge("inflight").Set(1)
+	r.Histogram(histName, nil).Observe(1)
+
+	r.Counter(dynamic).Inc() // want "must be a compile-time string constant"
+
+	r.Counter("BadName").Inc()       // want "does not match the metrics contract"
+	r.Gauge("2starts_digit").Set(0)  // want "does not match the metrics contract"
+	r.Counter("trailing_").Inc()     // registered: grammar allows interior underscores only at word joins
+	r.Histogram("x", nil).Observe(0) // single letter is within the grammar
+
+	// Label-wrapped names: base validated, exempt from the once-per-package rule.
+	r.Counter(obs.Label("site_probes_total", "site", site)).Inc()
+	r.Counter(obs.Label("site_probes_total", "site", "other")).Inc()
+	_ = obs.Label(dynamic, "k", "v")     // want "must be a compile-time string constant"
+	_ = obs.Label("Bad-Label", "k", "v") // want "does not match the metrics contract"
+}
+
+func registerAgain(r *obs.Registry) {
+	r.Gauge("inflight").Set(2) // want "already registered in this package"
+}

@@ -250,9 +250,9 @@ func (r *Registry) Measure(ctx context.Context, key string, srcAddr, dstAddr ipv
 		r.mu.Unlock()
 	}()
 
-	start := time.Now()
+	start := time.Now() //revtr:wallclock service wall-time metric, distinct from virtual probe time
 	res := r.safeMeasure(ctx, reg, dstAddr)
-	r.obs.Histogram("service_measure_wall_us", nil).Observe(time.Since(start).Microseconds())
+	r.obs.Histogram("service_measure_wall_us", nil).Observe(time.Since(start).Microseconds()) //revtr:wallclock service wall-time metric, distinct from virtual probe time
 	r.obs.Counter("service_measure_total").Inc()
 	if ctx.Err() != nil {
 		r.obs.Counter("service_measure_cancelled_total").Inc()
@@ -394,12 +394,13 @@ func (r *Registry) NDT(ctx context.Context, serverAddr, clientAddr ipv4.Addr) (*
 		return nil, nil // load shedding
 	}
 	r.ndtInFlight++
-	r.obs.Gauge("service_ndt_inflight").Set(int64(r.ndtInFlight))
+	inflight := r.obs.Gauge("service_ndt_inflight")
+	inflight.Set(int64(r.ndtInFlight))
 	r.mu.Unlock()
 	defer func() {
 		r.mu.Lock()
 		r.ndtInFlight--
-		r.obs.Gauge("service_ndt_inflight").Set(int64(r.ndtInFlight))
+		inflight.Set(int64(r.ndtInFlight))
 		r.mu.Unlock()
 	}()
 

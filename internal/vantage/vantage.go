@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"revtr/internal/detrand"
 	"revtr/internal/measure"
 	"revtr/internal/netsim/topology"
 )
@@ -33,7 +34,7 @@ const (
 // needs a ping- and RR-responsive host in an AS that permits spoofing and
 // does not filter options.
 func PlaceSites(topo *topology.Topology, n int, vintage Vintage, seed int64) []Site {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrand.New(seed, "vantage.sites")
 	var candidateASes []topology.ASN
 	switch vintage {
 	case Vintage2020:
@@ -99,7 +100,7 @@ type Probe struct {
 // ASes (stub-biased, like the real Atlas), each with the given credit
 // budget.
 func PlaceProbes(topo *topology.Topology, n int, credits int, seed int64) []*Probe {
-	rng := rand.New(rand.NewSource(seed + 1))
+	rng := detrand.New(seed, "vantage.probes")
 	order := rng.Perm(len(topo.ASes))
 	var probes []*Probe
 	for _, ai := range order {
