@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test short vet lint race ci bench chaos fuzz
+.PHONY: build test short vet lint race ci bench chaos fuzz soak
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ lint:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-ci: vet lint race bench chaos
+ci: vet lint race bench chaos soak
 
 # chaos runs the fault-injection suites under -race: engine and campaign
 # measured over lossy links, rate-limited routers, flapping routes, and
@@ -43,6 +43,14 @@ ci: vet lint race bench chaos
 # levels each; -count=1 defeats caching so every CI run re-rolls.
 chaos:
 	$(GO) test -race -run Chaos -count=1 ./internal/core/ ./internal/campaign/
+
+# soak pushes a 1000-job duplicate-heavy batch workload from three
+# users through a live HTTP server and checks the scheduler's books:
+# every job lands in exactly one terminal state, shed + coalesced +
+# done + failed balances the submission total, the metrics agree with
+# the per-job ledger, and nobody overdraws their daily quota.
+soak:
+	$(GO) test -race -run TestSoakBatch -count=1 ./internal/service/
 
 # fuzz gives each fuzz target a short budget: a smoke pass over the
 # parser/codec fuzzers, not a soak (lengthen locally with FUZZTIME).

@@ -3,9 +3,17 @@
 //	revtr-client -server http://localhost:8080 adduser -admin-key admin -name alice
 //	revtr-client -server ... -key KEY addsource -addr 16.0.128.1
 //	revtr-client -server ... -key KEY measure -src 16.0.128.1 -dst 16.12.128.1
+//	revtr-client -server ... -key KEY batch -pairs pairs.txt
 //	revtr-client -server ... get -id 0
 //	revtr-client -server ... sources
 //	revtr-client -server ... stats
+//	revtr-client -server ... revoke -admin-key admin -target KEY
+//
+// The batch pairs file holds one "src dst" pair per line (whitespace or
+// comma separated; blank lines and #-comments ignored). batch submits
+// the whole file as one asynchronous job, polls until every job is
+// terminal, prints a per-job table, and exits non-zero if any job
+// failed or was shed.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -24,7 +33,7 @@ func main() {
 	key := flag.String("key", "", "API key (X-API-Key)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: revtr-client [flags] adduser|addsource|measure|get|sources|stats [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: revtr-client [flags] adduser|addsource|measure|batch|get|sources|stats|revoke [subflags]")
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
@@ -56,6 +65,20 @@ func main() {
 		_ = fs.Parse(args)
 		err = c.do("POST", "/api/v1/revtr", nil,
 			map[string]any{"src": *src, "dsts": strings.Split(*dst, ",")})
+	case "batch":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		pairsPath := fs.String("pairs", "", "file of 'src dst' pairs, one per line ('-' = stdin)")
+		poll := fs.Duration("poll", 250*time.Millisecond, "initial poll interval while the batch runs (doubles up to 16x)")
+		timeout := fs.Duration("timeout", 10*time.Minute, "give up waiting after this long")
+		_ = fs.Parse(args)
+		err = c.batch(*pairsPath, *poll, *timeout)
+	case "revoke":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		adminKey := fs.String("admin-key", "admin", "admin key")
+		target := fs.String("target", "", "API key to revoke")
+		_ = fs.Parse(args)
+		err = c.do("DELETE", "/api/v1/users/"+*target,
+			map[string]string{"X-Admin-Key": *adminKey}, nil)
 	case "get":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		id := fs.Int("id", 0, "measurement id")
@@ -77,6 +100,144 @@ func main() {
 
 type client struct {
 	base, key string
+}
+
+// batchStatus mirrors the server's batch snapshot JSON.
+type batchStatus struct {
+	ID     string         `json:"batchId"`
+	Jobs   []batchJob     `json:"jobs"`
+	Counts map[string]int `json:"counts"`
+	Done   bool           `json:"done"`
+}
+
+type batchJob struct {
+	Index     int    `json:"index"`
+	Src       string `json:"src"`
+	Dst       string `json:"dst"`
+	State     string `json:"state"`
+	Coalesced bool   `json:"coalesced"`
+	Error     string `json:"error"`
+}
+
+// readPairs parses a pairs file: one "src dst" per line, whitespace or
+// comma separated, blank lines and #-comments ignored.
+func readPairs(path string) ([]map[string]string, error) {
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var pairs []map[string]string
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want 'src dst', got %q", i+1, line)
+		}
+		pairs = append(pairs, map[string]string{"src": fields[0], "dst": fields[1]})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("no pairs in %s", path)
+	}
+	return pairs, nil
+}
+
+// batch submits the pairs file as one asynchronous batch, polls until
+// every job is terminal, prints a per-job table, and returns an error
+// (non-zero exit) if any job failed or was shed.
+func (c *client) batch(pairsPath string, poll, timeout time.Duration) error {
+	if pairsPath == "" {
+		return fmt.Errorf("batch: -pairs is required")
+	}
+	pairs, err := readPairs(pairsPath)
+	if err != nil {
+		return err
+	}
+	var st batchStatus
+	if err := c.json("POST", "/api/v1/batch", map[string]any{"pairs": pairs}, &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "batch %s: %d jobs submitted %v\n", st.ID, len(st.Jobs), st.Counts)
+
+	deadline := time.Now().Add(timeout) //revtr:wallclock client-side poll timeout, real time by definition
+	wait := poll
+	for !st.Done {
+		if time.Now().After(deadline) { //revtr:wallclock client-side poll timeout, real time by definition
+			return fmt.Errorf("batch %s still running after %s: %v", st.ID, timeout, st.Counts)
+		}
+		time.Sleep(wait)
+		if wait < 16*poll {
+			wait *= 2 // back off while the batch runs; the server does the waiting
+		}
+		// Decode into a fresh struct: Unmarshal merges into an existing
+		// map, which would leave stale state counts from earlier polls.
+		var next batchStatus
+		if err := c.json("GET", "/api/v1/batch/"+st.ID, nil, &next); err != nil {
+			return err
+		}
+		st = next
+		fmt.Fprintf(os.Stderr, "batch %s: %v\n", st.ID, st.Counts)
+	}
+
+	bad := 0
+	for _, j := range st.Jobs {
+		line := fmt.Sprintf("%4d  %s > %s  %s", j.Index, j.Src, j.Dst, j.State)
+		if j.Coalesced {
+			line += " (coalesced: zero probes charged)"
+		}
+		if j.Error != "" {
+			line += "  " + j.Error
+		}
+		fmt.Println(line)
+		if j.State == "failed" || j.State == "shed" {
+			bad++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "batch %s finished: %v\n", st.ID, st.Counts)
+	if bad > 0 {
+		return fmt.Errorf("%d of %d jobs did not complete", bad, len(st.Jobs))
+	}
+	return nil
+}
+
+// json sends one request and decodes the JSON response into out.
+func (c *client) json(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if c.key != "" {
+		req.Header.Set("X-API-Key", c.key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return json.Unmarshal(raw, out)
 }
 
 // do sends one request and pretty-prints the JSON response.

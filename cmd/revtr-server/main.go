@@ -7,7 +7,13 @@
 //	GET /metrics   engine + service counters, gauges, latency histograms
 //	GET /healthz   plain-text liveness probe
 //
-//	revtr-server -listen :8080 -ases 1000 -admin-key secret
+// The batch scheduler (POST /api/v1/batch) is always on; -batch-workers,
+// -batch-queue-cap, and -batch-quantum tune it. With -store-dir the
+// measurement archive is durable: a restarted server replays its WAL and
+// snapshot and serves the identical pre-crash measurement set under the
+// same IDs.
+//
+//	revtr-server -listen :8080 -ases 1000 -admin-key secret -store-dir /var/lib/revtr
 //
 // Interact with it using revtr-client or plain curl:
 //
@@ -31,7 +37,9 @@ import (
 	"revtr/internal/core"
 	"revtr/internal/netsim/faults"
 	"revtr/internal/probe"
+	"revtr/internal/sched"
 	"revtr/internal/service"
+	"revtr/internal/store"
 )
 
 // buildFaultPlan assembles the fault plan from the -faults spec string
@@ -81,6 +89,13 @@ func main() {
 		faultSeed    = flag.Uint64("fault-seed", 0, "fault plan seed (overrides -faults; 0 = keep)")
 		retries      = flag.Int("probe-retries", 0, "re-issue unanswered probes up to this many times (virtual-time backoff)")
 		retryBackoff = flag.Duration("probe-retry-backoff", 0, "delay before the first probe retry, doubling per retry (0 = default 50ms)")
+		storeDir     = flag.String("store-dir", "", "durable measurement store directory (empty = memory-only; measurements vanish on restart)")
+		storeSync    = flag.Bool("store-sync", false, "fsync the measurement WAL after every append")
+		storeWALMax  = flag.Int64("store-max-wal-bytes", 0, "compact (snapshot + truncate) when the WAL exceeds this (0 = default 4 MiB)")
+		storeRecMax  = flag.Int("store-max-records", 0, "cap the live measurement set, dropping oldest (0 = unbounded)")
+		batchWorkers = flag.Int("batch-workers", 4, "concurrent batch measurement workers")
+		batchQueue   = flag.Int("batch-queue-cap", 1024, "batch dispatch queue cap; submissions past it are load-shed")
+		batchQuantum = flag.Int("batch-quantum", 4, "deficit round-robin quantum: jobs served per user per ring visit")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bulk measurements take a while)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
@@ -123,7 +138,25 @@ func main() {
 	}
 
 	backend := service.NewDeploymentBackend(d)
-	reg := service.NewRegistry(backend, *adminKey)
+	var reg *service.Registry
+	if *storeDir != "" {
+		archive, err := store.Open(*storeDir, store.Options{
+			Sync:        *storeSync,
+			MaxWALBytes: *storeWALMax,
+			MaxRecords:  *storeRecMax,
+		})
+		if err != nil {
+			log.Fatalf("measurement store: %v", err)
+		}
+		defer archive.Close()
+		if n := archive.Len(); n > 0 {
+			log.Printf("measurement store: recovered %d measurements from %s (next id %d)",
+				n, *storeDir, archive.NextID())
+		}
+		reg = service.NewRegistryWithArchive(backend, *adminKey, archive)
+	} else {
+		reg = service.NewRegistry(backend, *adminKey)
+	}
 	// Engine metrics land in the same registry the service renders on
 	// GET /metrics, so per-stage engine accounting is live from request 1.
 	backend.Engine.SetMetrics(core.NewMetrics(reg.Obs()))
@@ -133,6 +166,18 @@ func main() {
 	plan.SetObs(reg.Obs())
 	api := service.NewAPI(reg)
 	api.MeasureTimeout = *measureTO
+
+	// The batch scheduler's workers live until the shutdown context
+	// fires; Drain below waits for the last in-flight measurements.
+	batchCtx, stopBatch := context.WithCancel(context.Background())
+	defer stopBatch()
+	sc := reg.EnableBatch(batchCtx, sched.Options{
+		Workers:  *batchWorkers,
+		QueueCap: *batchQueue,
+		Quantum:  *batchQuantum,
+	})
+	log.Printf("batch scheduler: %d workers, queue cap %d, quantum %d",
+		*batchWorkers, *batchQueue, *batchQuantum)
 
 	// Print a few example destination addresses so users can try the API
 	// without reading the topology dump.
@@ -175,6 +220,10 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("server: %v", err)
+		}
+		stopBatch()
+		if err := sc.Drain(shCtx); err != nil {
+			log.Printf("batch drain: %v", err)
 		}
 		st := reg.Stats()
 		log.Printf("drained: %d users, %d sources, %d measurements archived",

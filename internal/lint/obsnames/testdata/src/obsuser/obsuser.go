@@ -28,3 +28,20 @@ func registerAll(r *obs.Registry, dynamic string, site string) {
 func registerAgain(r *obs.Registry) {
 	r.Gauge("inflight").Set(2) // want "already registered in this package"
 }
+
+// The batch-scheduler / durable-store metric families (internal/sched,
+// internal/store): plain counters and gauges, a _bytes-suffixed gauge,
+// a dispatch-latency histogram, and the labelled per-state counter.
+func registerBatchFamily(r *obs.Registry, state string) {
+	r.Gauge("sched_queue_depth").Set(0)
+	r.Counter("sched_coalesced_total").Inc()
+	r.Counter("sched_shed_total").Inc()
+	r.Gauge("store_wal_bytes").Set(0)
+	r.Histogram("sched_dispatch_wall_us", nil).Observe(1)
+	r.Counter(obs.Label("sched_jobs_total", "state", state)).Inc()
+	r.Counter(obs.Label("sched_jobs_total", "state", "coalesced")).Inc() // labelled: exempt from once-per-package
+}
+
+func registerBatchFamilyAgain(r *obs.Registry) {
+	r.Gauge("store_wal_bytes").Set(1) // want "already registered in this package"
+}

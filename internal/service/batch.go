@@ -1,0 +1,171 @@
+// Batch measurement API: the service face of internal/sched. A batch
+// submission charges the user's daily quota once, at admission, and
+// only for jobs that will drive a measurement of their own — day-cache
+// hits and duplicates coalesced onto an in-flight leader are free
+// (Insight 1.4's reuse window applied at the request layer). Because
+// completion never charges, jobs admitted before a midnight ResetDay
+// cannot double-charge the new day's budget.
+package service
+
+import (
+	"context"
+	"errors"
+
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
+	"revtr/internal/sched"
+)
+
+var (
+	// ErrBatchDisabled rejects batch calls on a registry without an
+	// enabled scheduler (EnableBatch was never called).
+	ErrBatchDisabled = errors.New("service: batch scheduler not enabled")
+	// ErrUnknownUser is returned when revoking a key that does not exist.
+	ErrUnknownUser = errors.New("service: unknown user")
+)
+
+// EnableBatch attaches a batch scheduler to the registry and starts its
+// workers; ctx stops them (pair with Drain on the returned scheduler
+// for an orderly shutdown). The scheduler shares the registry's metric
+// registry regardless of opts.Obs. Calling EnableBatch again returns
+// the already-enabled scheduler.
+func (r *Registry) EnableBatch(ctx context.Context, opts sched.Options) *sched.Scheduler {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.Obs = r.obs
+	sc := sched.New(r.batchExec, opts)
+	r.mu.Lock()
+	if r.sched != nil {
+		sc = r.sched
+		r.mu.Unlock()
+		return sc
+	}
+	r.sched = sc
+	r.mu.Unlock()
+	sc.Start(ctx)
+	return sc
+}
+
+// batchExec is the scheduler's Exec callback: run one measurement and
+// archive it. Quota was charged at admission, so nothing is charged
+// here — and the user's MaxParallel sync-request limit does not apply;
+// the scheduler's worker bound is the batch concurrency control.
+// Cancelled or panicked measurements return an error so their partial
+// results never resolve coalesced subscribers or enter the day cache.
+func (r *Registry) batchExec(ctx context.Context, key string, src, dst ipv4.Addr) (any, error) {
+	r.mu.Lock()
+	reg, ok := r.sources[src]
+	sc := r.sched
+	r.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownSource
+	}
+	res := r.safeMeasure(ctx, reg, dst)
+	r.obs.Counter("service_batch_exec_total").Inc()
+	if res == nil {
+		return nil, sc.WrapRevoked(key, errors.New("service: backend panic"))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, sc.WrapRevoked(key, err)
+	}
+	m := buildMeasurement(src, dst, res)
+	r.obs.Counter(obs.Label("service_measure_status_total", "status", m.Status)).Inc()
+	if err := r.archiveMeasurement(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SubmitBatch admits a batch of (src, dst) jobs for the user owning
+// key. Every src must be a registered source — a batch with any
+// unknown source is rejected whole, before charging anything. The
+// quota check and the charge are atomic under the registry lock, so
+// concurrent submissions cannot overdraw MaxPerDay. The returned
+// snapshot reflects admission (jobs may already be resolved from the
+// day cache); poll BatchStatus for completion. ErrOverloaded means the
+// dispatch queue shed the entire batch.
+func (r *Registry) SubmitBatch(ctx context.Context, key string, specs []sched.JobSpec) (sched.BatchStatus, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sc := r.sched
+	if sc == nil {
+		return sched.BatchStatus{}, ErrBatchDisabled
+	}
+	u, ok := r.users[key]
+	if !ok {
+		return sched.BatchStatus{}, ErrUnauthorized
+	}
+	for _, sp := range specs {
+		if _, ok := r.sources[sp.Src]; !ok {
+			return sched.BatchStatus{}, ErrUnknownSource
+		}
+	}
+	quota := u.MaxPerDay - u.usedToday
+	if quota < 0 {
+		quota = 0
+	}
+	// Lock order: r.mu then sched.mu. The scheduler never calls Exec
+	// while holding its own lock, so batchExec re-taking r.mu from a
+	// worker cannot deadlock against this.
+	st, admitted, err := sc.SubmitQuota(ctx, key, specs, quota)
+	if admitted > 0 {
+		u.usedToday += admitted
+		r.userGauges(u)
+	}
+	return st, err
+}
+
+// BatchStatus snapshots a batch. Only the submitting user (or the
+// admin key) may see it; other users' batch IDs report as unknown
+// rather than leaking their existence.
+func (r *Registry) BatchStatus(key, id string) (sched.BatchStatus, error) {
+	r.mu.Lock()
+	sc := r.sched
+	_, isUser := r.users[key]
+	isAdmin := key != "" && key == r.adminKey
+	r.mu.Unlock()
+	if sc == nil {
+		return sched.BatchStatus{}, ErrBatchDisabled
+	}
+	if !isUser && !isAdmin {
+		return sched.BatchStatus{}, ErrUnauthorized
+	}
+	st, err := sc.Status(id)
+	if err != nil {
+		return sched.BatchStatus{}, err
+	}
+	if !isAdmin && st.User != key {
+		return sched.BatchStatus{}, sched.ErrUnknownBatch
+	}
+	return st, nil
+}
+
+// RevokeUser deletes a user's API key (admin operation) and cancels
+// the user's batch work: queued jobs fail with ErrRevoked, running
+// measurements are interrupted, and in-flight leaders with other
+// users' jobs coalesced onto them hand leadership over before failing,
+// so revocation never takes other users' results down with it.
+func (r *Registry) RevokeUser(adminKey, key string) error {
+	if adminKey != r.adminKey {
+		return ErrUnauthorized
+	}
+	r.mu.Lock()
+	u, ok := r.users[key]
+	if ok {
+		delete(r.users, key)
+	}
+	sc := r.sched
+	r.mu.Unlock()
+	if !ok {
+		return ErrUnknownUser
+	}
+	if sc != nil {
+		sc.Revoke(key)
+	}
+	r.obs.Counter(obs.Label("service_user_revoked_total", "user", u.Name)).Inc()
+	return nil
+}

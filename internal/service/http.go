@@ -12,6 +12,7 @@ import (
 
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/obs"
+	"revtr/internal/sched"
 )
 
 // API is the HTTP front end (the REST flavour of the Appendix A APIs).
@@ -21,6 +22,9 @@ import (
 //	GET  /api/v1/sources          list sources
 //	POST /api/v1/revtr            run reverse traceroutes        (X-API-Key)
 //	GET  /api/v1/revtr/{id}       fetch a stored measurement
+//	POST /api/v1/batch            submit an async batch (202)    (X-API-Key)
+//	GET  /api/v1/batch/{id}       poll a batch's per-job states  (X-API-Key)
+//	DELETE /api/v1/users/{key}    admin: revoke a key + cancel its batch jobs
 //	GET  /api/v1/stats            service statistics
 //	GET  /api/v1/health           liveness (JSON)
 //	GET  /healthz                 liveness (plain text, for probes)
@@ -45,6 +49,9 @@ func NewAPI(reg *Registry) *API {
 	a.mux.HandleFunc("GET /api/v1/sources", a.handleListSources)
 	a.mux.HandleFunc("POST /api/v1/revtr", a.handleMeasure)
 	a.mux.HandleFunc("GET /api/v1/revtr/{id}", a.handleGet)
+	a.mux.HandleFunc("POST /api/v1/batch", a.handleBatchSubmit)
+	a.mux.HandleFunc("GET /api/v1/batch/{id}", a.handleBatchStatus)
+	a.mux.HandleFunc("DELETE /api/v1/users/{key}", a.handleRevokeUser)
 	a.mux.HandleFunc("POST /api/v1/ndt", a.handleNDT)
 	a.mux.HandleFunc("GET /api/v1/stats", a.handleStats)
 	a.mux.HandleFunc("GET /api/v1/health", func(w http.ResponseWriter, _ *http.Request) {
@@ -116,6 +123,13 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrBootstrap):
 		code = http.StatusUnprocessableEntity
+	case errors.Is(err, sched.ErrRevoked):
+		code = http.StatusUnauthorized
+	case errors.Is(err, sched.ErrUnknownBatch), errors.Is(err, ErrUnknownUser):
+		code = http.StatusNotFound
+	case errors.Is(err, sched.ErrOverloaded), errors.Is(err, sched.ErrStopped),
+		errors.Is(err, ErrBatchDisabled):
+		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
@@ -224,6 +238,69 @@ func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// handleBatchSubmit accepts an asynchronous batch of (src, dst) pairs
+// and answers 202 with the admission snapshot: cached pairs are already
+// "coalesced", the rest are "queued" or "shed". Clients poll
+// GET /api/v1/batch/{id} until done.
+func (a *API) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Pairs []struct {
+			Src string `json:"src"`
+			Dst string `json:"dst"`
+		} `json:"pairs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body"})
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch"})
+		return
+	}
+	specs := make([]sched.JobSpec, 0, len(req.Pairs))
+	for _, p := range req.Pairs {
+		src, err1 := ipv4.ParseAddr(p.Src)
+		dst, err2 := ipv4.ParseAddr(p.Dst)
+		if err1 != nil || err2 != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorBody{Error: fmt.Sprintf("bad pair %s>%s", p.Src, p.Dst)})
+			return
+		}
+		specs = append(specs, sched.JobSpec{Src: src, Dst: dst})
+	}
+	st, err := a.reg.SubmitBatch(r.Context(), r.Header.Get("X-API-Key"), specs)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleBatchStatus polls one batch. The admin key may inspect any
+// batch; users see only their own.
+func (a *API) handleBatchStatus(w http.ResponseWriter, r *http.Request) {
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		key = r.Header.Get("X-Admin-Key")
+	}
+	st, err := a.reg.BatchStatus(key, r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleRevokeUser deletes an API key and cancels the key's queued and
+// running batch jobs.
+func (a *API) handleRevokeUser(w http.ResponseWriter, r *http.Request) {
+	if err := a.reg.RevokeUser(r.Header.Get("X-Admin-Key"), r.PathValue("key")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "revoked"})
 }
 
 // handleNDT is the Appendix A hook: an NDT server reports a speed test

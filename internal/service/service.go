@@ -20,6 +20,8 @@ import (
 	"revtr/internal/core"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/obs"
+	"revtr/internal/sched"
+	"revtr/internal/store"
 )
 
 // User is a registered API user with the two rate-limit parameters the
@@ -88,13 +90,16 @@ type Backend interface {
 }
 
 // Registry is the service state: users, sources, and the measurement
-// archive. Safe for concurrent use.
+// archive. Safe for concurrent use. The archive is an internal/store
+// append-only log — durable when the registry is built over an
+// on-disk store, so measurement IDs survive a restart.
 type Registry struct {
 	mu          sync.Mutex
 	backend     Backend
 	users       map[string]*User // by API key
 	sources     map[ipv4.Addr]*registeredSource
-	store       []*Measurement
+	archive     *store.Log
+	sched       *sched.Scheduler // batch scheduler; nil until EnableBatch
 	adminKey    string
 	ndtInFlight int
 	obs         *obs.Registry
@@ -109,16 +114,38 @@ type registeredSource struct {
 	atlasMu sync.RWMutex
 }
 
-// NewRegistry creates the service state. adminKey authorizes user
-// management. Every registry carries an obs.Registry; attach engine or
-// campaign metrics to Obs() to surface them on GET /metrics.
+// NewRegistry creates the service state with a memory-only measurement
+// archive. adminKey authorizes user management. Every registry carries
+// an obs.Registry; attach engine or campaign metrics to Obs() to
+// surface them on GET /metrics.
 func NewRegistry(backend Backend, adminKey string) *Registry {
+	// A memory-only store.Log never fails to open.
+	archive, err := store.Open("", store.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return newRegistry(backend, adminKey, archive, obs.New())
+}
+
+// NewRegistryWithArchive creates the service state over an existing
+// measurement archive (typically store.Open on a durable directory):
+// measurements already in it keep their IDs, and new ones append after
+// them — a restarted server recovers the identical pre-crash archive.
+func NewRegistryWithArchive(backend Backend, adminKey string, archive *store.Log) *Registry {
+	return newRegistry(backend, adminKey, archive, obs.New())
+}
+
+func newRegistry(backend Backend, adminKey string, archive *store.Log, o *obs.Registry) *Registry {
+	// The archive's metrics (store_wal_bytes, ...) join the registry's
+	// namespace, whatever obs it was opened with.
+	archive.SetObs(o)
 	return &Registry{
 		backend:  backend,
 		users:    make(map[string]*User),
 		sources:  make(map[ipv4.Addr]*registeredSource),
+		archive:  archive,
 		adminKey: adminKey,
-		obs:      obs.New(),
+		obs:      o,
 	}
 }
 
@@ -258,30 +285,50 @@ func (r *Registry) Measure(ctx context.Context, key string, srcAddr, dstAddr ipv
 		r.obs.Counter("service_measure_cancelled_total").Inc()
 	}
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	m := buildMeasurement(srcAddr, dstAddr, res)
+	r.obs.Counter(obs.Label("service_measure_status_total", "status", m.Status)).Inc()
+	if err := r.archiveMeasurement(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// buildMeasurement converts a backend result (nil = backend panic)
+// into the stored form. The ID is assigned at archive time.
+func buildMeasurement(srcAddr, dstAddr ipv4.Addr, res *core.Result) *Measurement {
 	m := &Measurement{
-		ID:  len(r.store),
 		Src: srcAddr.String(),
 		Dst: dstAddr.String(),
 	}
 	if res == nil { // backend panicked
 		m.Status = "failed"
-	} else {
-		m.Status = res.Status.String()
-		m.DurationUS = res.DurationUS
-		m.Probes = res.Probes.Total()
-		for _, h := range res.Hops {
-			m.Hops = append(m.Hops, MeasuredHop{
-				Addr:      h.Addr.String(),
-				Technique: h.Tech.String(),
-				Suspect:   h.SuspectBefore,
-			})
-		}
+		return m
 	}
-	r.obs.Counter(obs.Label("service_measure_status_total", "status", m.Status)).Inc()
-	r.store = append(r.store, m)
-	return m, nil
+	m.Status = res.Status.String()
+	m.DurationUS = res.DurationUS
+	m.Probes = res.Probes.Total()
+	for _, h := range res.Hops {
+		m.Hops = append(m.Hops, MeasuredHop{
+			Addr:      h.Addr.String(),
+			Technique: h.Tech.String(),
+			Suspect:   h.SuspectBefore,
+		})
+	}
+	return m
+}
+
+// archiveMeasurement appends m to the durable archive, stamping its ID
+// with the log's next sequence number. The marshalled bytes in the WAL
+// are what a restarted server replays, bit for bit.
+func (r *Registry) archiveMeasurement(m *Measurement) error {
+	_, err := r.archive.Append(func(id uint64) any {
+		m.ID = int(id)
+		return m
+	})
+	if err != nil {
+		return fmt.Errorf("service: archive: %w", err)
+	}
+	return nil
 }
 
 // safeMeasure runs one backend measurement holding the source's atlas
@@ -300,24 +347,35 @@ func (r *Registry) safeMeasure(ctx context.Context, reg *registeredSource, dst i
 	return r.backend.Measure(ctx, reg.src, dst)
 }
 
-// Get retrieves a stored measurement by ID.
+// Get retrieves a stored measurement by ID. Records evicted by the
+// archive's retention cap report as missing, same as never-assigned IDs.
 func (r *Registry) Get(id int) (*Measurement, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if id < 0 || id >= len(r.store) {
+	if id < 0 {
 		return nil, false
 	}
-	return r.store[id], true
+	var m Measurement
+	ok, err := r.archive.Get(uint64(id), &m)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return &m, true
 }
 
 // ResetDay clears the per-day counters (the real system rolls these at
-// midnight).
+// midnight) and the batch scheduler's day cache. Batch jobs admitted
+// before the reset were charged against the old day's quota at admission
+// time and are never re-charged on completion, so in-flight queues carry
+// no quota debt into the new day.
 func (r *Registry) ResetDay() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	sc := r.sched
 	for _, u := range r.users {
 		u.usedToday = 0
 		r.userGauges(u)
+	}
+	r.mu.Unlock()
+	if sc != nil {
+		sc.ResetDay()
 	}
 }
 
@@ -407,28 +465,10 @@ func (r *Registry) NDT(ctx context.Context, serverAddr, clientAddr ipv4.Addr) (*
 	res := r.safeMeasure(ctx, reg, clientAddr)
 	r.obs.Counter("service_ndt_total").Inc()
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := &Measurement{
-		ID:  len(r.store),
-		Src: serverAddr.String(),
-		Dst: clientAddr.String(),
+	m := buildMeasurement(serverAddr, clientAddr, res)
+	if err := r.archiveMeasurement(m); err != nil {
+		return nil, err
 	}
-	if res == nil { // backend panicked
-		m.Status = "failed"
-	} else {
-		m.Status = res.Status.String()
-		m.DurationUS = res.DurationUS
-		m.Probes = res.Probes.Total()
-		for _, h := range res.Hops {
-			m.Hops = append(m.Hops, MeasuredHop{
-				Addr:      h.Addr.String(),
-				Technique: h.Tech.String(),
-				Suspect:   h.SuspectBefore,
-			})
-		}
-	}
-	r.store = append(r.store, m)
 	return m, nil
 }
 
@@ -446,5 +486,5 @@ type Stats struct {
 func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return Stats{Users: len(r.users), Sources: len(r.sources), Measurements: len(r.store)}
+	return Stats{Users: len(r.users), Sources: len(r.sources), Measurements: r.archive.Len()}
 }

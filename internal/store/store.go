@@ -1,0 +1,433 @@
+// Package store is the durable measurement archive behind the service:
+// an append-only log of JSON records with monotonically increasing IDs,
+// persisted as a JSON-lines write-ahead log plus a periodic snapshot.
+// A restarted server replays snapshot + WAL and recovers the identical
+// record set — same IDs, same bytes — which is what lets measurement
+// IDs handed to clients survive a crash (the paper's open service keeps
+// revtrs retrievable for a day; Insight 1.4).
+//
+// Durability model:
+//
+//   - Append marshals the record once and writes one line
+//     `{"id":N,"data":<record>}` to wal.jsonl (optionally fsynced).
+//   - When the WAL grows past MaxWALBytes, the log compacts: the live
+//     records are written to snapshot.jsonl.tmp, renamed into place
+//     atomically, and the WAL is truncated.
+//   - Recovery loads the snapshot, then replays the WAL on top. A
+//     truncated tail line (the torn write of a crash mid-append) is
+//     tolerated: replay stops at the first malformed line.
+//   - MaxRecords caps the live set; exceeding it drops the oldest
+//     records (the base ID advances, so surviving IDs never move).
+//
+// A Log opened with dir == "" is memory-only: same API, same IDs, no
+// files — the mode unit tests and the default in-process registry use.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"revtr/internal/obs"
+)
+
+// Options tunes durability and retention.
+type Options struct {
+	// MaxWALBytes triggers compaction (snapshot + WAL truncate) when the
+	// WAL file exceeds it. <= 0 means the default 4 MiB.
+	MaxWALBytes int64
+	// MaxRecords caps the live record set; the oldest records are
+	// dropped (base advances) when exceeded. <= 0 means unbounded.
+	MaxRecords int
+	// Sync fsyncs the WAL after every append. Slow but loses nothing;
+	// off by default (a crash can lose the last buffered appends, never
+	// corrupt earlier ones).
+	Sync bool
+	// Obs, when set, receives store metrics (store_wal_bytes,
+	// store_records, store_appends_total, store_compactions_total,
+	// store_dropped_total, store_replayed_total, store_torn_tail_total).
+	Obs *obs.Registry
+}
+
+// defaultMaxWALBytes bounds WAL growth between compactions.
+const defaultMaxWALBytes = 4 << 20
+
+const (
+	walName      = "wal.jsonl"
+	snapName     = "snapshot.jsonl"
+	snapTempName = "snapshot.jsonl.tmp"
+)
+
+// ErrDropped is returned by Get for IDs older than the retention cap.
+var ErrDropped = errors.New("store: record dropped by retention cap")
+
+// walRecord is one WAL/snapshot line.
+type walRecord struct {
+	ID   uint64          `json:"id"`
+	Data json.RawMessage `json:"data"`
+}
+
+// snapHeader is the first line of a snapshot file.
+type snapHeader struct {
+	Base uint64 `json:"base"`
+	N    int    `json:"n"`
+}
+
+// Log is the append-only record log. Safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	base uint64   // ID of recs[0]
+	recs [][]byte // marshalled record JSON, index i holds ID base+i
+
+	wal      *os.File
+	walBytes int64
+
+	mWALBytes    *obs.Gauge
+	mRecords     *obs.Gauge
+	mAppends     *obs.Counter
+	mCompactions *obs.Counter
+	mDropped     *obs.Counter
+	mReplayed    *obs.Counter
+	mTorn        *obs.Counter
+
+	// Replay outcomes are also kept as plain fields so SetObs can
+	// republish them: recovery runs in Open, typically before the
+	// registry that will serve /metrics exists.
+	nReplayed uint64
+	nTorn     uint64
+}
+
+// bindObs hoists every metric handle from o (nil disables them; the
+// handles stay usable either way). The single registration site per
+// name keeps the obsnames contract.
+func (l *Log) bindObs(o *obs.Registry) {
+	l.mWALBytes = o.Gauge("store_wal_bytes")
+	l.mRecords = o.Gauge("store_records")
+	l.mAppends = o.Counter("store_appends_total")
+	l.mCompactions = o.Counter("store_compactions_total")
+	l.mDropped = o.Counter("store_dropped_total")
+	l.mReplayed = o.Counter("store_replayed_total")
+	l.mTorn = o.Counter("store_torn_tail_total")
+}
+
+// SetObs re-homes the log's metrics onto o and republishes the current
+// gauge values plus the recovery counters (replayed records, torn
+// tails), which predate any registry handed in here. The service uses
+// this to pull an archive opened before the registry existed into the
+// registry's /metrics namespace; the remaining counters restart from
+// zero in the new registry.
+func (l *Log) SetObs(o *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bindObs(o)
+	l.mWALBytes.Set(l.walBytes)
+	l.mRecords.Set(int64(len(l.recs)))
+	l.mReplayed.Add(l.nReplayed)
+	l.mTorn.Add(l.nTorn)
+}
+
+// Open opens (or creates) a log rooted at dir, replaying any snapshot
+// and WAL found there. dir == "" opens a memory-only log.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.MaxWALBytes <= 0 {
+		opts.MaxWALBytes = defaultMaxWALBytes
+	}
+	l := &Log{dir: dir, opts: opts}
+	l.bindObs(opts.Obs)
+	if dir == "" {
+		return l, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	l.wal = wal
+	l.walBytes = st.Size()
+	l.mWALBytes.Set(l.walBytes)
+	l.mRecords.Set(int64(len(l.recs)))
+	return l, nil
+}
+
+// recover loads snapshot then WAL into memory. Torn WAL tails (a
+// malformed or truncated last line) end the replay without error.
+func (l *Log) recover() error {
+	if err := l.loadLines(filepath.Join(l.dir, snapName), true); err != nil {
+		return err
+	}
+	if err := l.loadLines(filepath.Join(l.dir, walName), false); err != nil {
+		return err
+	}
+	l.enforceCap()
+	l.nReplayed = uint64(len(l.recs))
+	l.mReplayed.Add(l.nReplayed)
+	return nil
+}
+
+// loadLines replays one JSON-lines file. Snapshot files carry a header
+// line; both kinds tolerate a torn final line.
+func (l *Log) loadLines(path string, snapshot bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	first := snapshot
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var h snapHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				return fmt.Errorf("store: corrupt snapshot header in %s: %w", path, err)
+			}
+			l.base = h.Base
+			l.recs = l.recs[:0]
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Data == nil {
+			// Torn tail from a crash mid-append: keep what replayed so
+			// far and stop. Anything after a torn line is unreachable by
+			// construction (appends are sequential).
+			l.nTorn++
+			l.mTorn.Inc()
+			return nil
+		}
+		next := l.base + uint64(len(l.recs))
+		if rec.ID < next {
+			continue // WAL line already covered by the snapshot
+		}
+		if rec.ID > next {
+			// A gap means the file is damaged beyond a torn tail; stop
+			// replay rather than invent IDs.
+			l.nTorn++
+			l.mTorn.Inc()
+			return nil
+		}
+		data := make([]byte, len(rec.Data))
+		copy(data, rec.Data)
+		l.recs = append(l.recs, data)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return nil
+}
+
+// Append marshals and durably appends one record. build receives the ID
+// the record will carry, so callers can embed it in the record itself
+// (the service stamps Measurement.ID this way); the marshalled bytes
+// are what Get and recovery return, bit for bit.
+func (l *Log) Append(build func(id uint64) any) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := l.base + uint64(len(l.recs))
+	data, err := json.Marshal(build(id))
+	if err != nil {
+		return 0, fmt.Errorf("store: marshal: %w", err)
+	}
+	if l.wal != nil {
+		line, err := json.Marshal(walRecord{ID: id, Data: data})
+		if err != nil {
+			return 0, fmt.Errorf("store: marshal wal record: %w", err)
+		}
+		line = append(line, '\n')
+		if _, err := l.wal.Write(line); err != nil {
+			return 0, fmt.Errorf("store: wal append: %w", err)
+		}
+		if l.opts.Sync {
+			if err := l.wal.Sync(); err != nil {
+				return 0, fmt.Errorf("store: wal sync: %w", err)
+			}
+		}
+		l.walBytes += int64(len(line))
+		l.mWALBytes.Set(l.walBytes)
+	}
+	l.recs = append(l.recs, data)
+	l.enforceCap()
+	l.mAppends.Inc()
+	l.mRecords.Set(int64(len(l.recs)))
+	if l.wal != nil && l.walBytes > l.opts.MaxWALBytes {
+		if err := l.compactLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// enforceCap drops oldest records past MaxRecords. Callers hold l.mu.
+func (l *Log) enforceCap() {
+	if l.opts.MaxRecords <= 0 || len(l.recs) <= l.opts.MaxRecords {
+		return
+	}
+	drop := len(l.recs) - l.opts.MaxRecords
+	l.recs = append(l.recs[:0], l.recs[drop:]...)
+	l.base += uint64(drop)
+	l.mDropped.Add(uint64(drop))
+}
+
+// Get unmarshals the record with the given ID into v (which may be nil
+// to just probe existence). Returns ErrDropped for IDs that fell to the
+// retention cap and false for IDs never assigned.
+func (l *Log) Get(id uint64, v any) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id < l.base {
+		return false, ErrDropped
+	}
+	i := id - l.base
+	if i >= uint64(len(l.recs)) {
+		return false, nil
+	}
+	if v == nil {
+		return true, nil
+	}
+	if err := json.Unmarshal(l.recs[i], v); err != nil {
+		return true, fmt.Errorf("store: unmarshal record %d: %w", id, err)
+	}
+	return true, nil
+}
+
+// Len is the live record count.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Base is the lowest live ID (IDs below it were dropped by retention).
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// NextID is the ID the next Append will assign.
+func (l *Log) NextID() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + uint64(len(l.recs))
+}
+
+// Replay streams every live record in ID order.
+func (l *Log) Replay(fn func(id uint64, data []byte) error) error {
+	l.mu.Lock()
+	base := l.base
+	recs := make([][]byte, len(l.recs))
+	copy(recs, l.recs)
+	l.mu.Unlock()
+	for i, data := range recs {
+		if err := fn(base+uint64(i), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WALBytes reports the current WAL file size (0 when memory-only).
+func (l *Log) WALBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.walBytes
+}
+
+// Compact forces a snapshot + WAL truncation.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil
+	}
+	return l.compactLocked()
+}
+
+// compactLocked writes the live set to a temp snapshot, renames it into
+// place, and truncates the WAL. Callers hold l.mu.
+func (l *Log) compactLocked() error {
+	tmpPath := filepath.Join(l.dir, snapTempName)
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	hdr, _ := json.Marshal(snapHeader{Base: l.base, N: len(l.recs)})
+	w.Write(hdr)
+	w.WriteByte('\n')
+	for i, data := range l.recs {
+		line, err := json.Marshal(walRecord{ID: l.base + uint64(i), Data: data})
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(l.dir, snapName)); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	// The snapshot now covers everything; restart the WAL from empty.
+	if err := l.wal.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	wal, err := os.Create(filepath.Join(l.dir, walName))
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	l.wal = wal
+	l.walBytes = 0
+	l.mWALBytes.Set(0)
+	l.mCompactions.Inc()
+	return nil
+}
+
+// Close flushes and closes the WAL. The Log must not be used after.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil
+	}
+	err := l.wal.Sync()
+	if cerr := l.wal.Close(); err == nil {
+		err = cerr
+	}
+	l.wal = nil
+	return err
+}

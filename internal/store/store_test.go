@@ -1,0 +1,283 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"revtr/internal/obs"
+	"revtr/internal/store"
+)
+
+type rec struct {
+	ID  int    `json:"id"`
+	Dst string `json:"dst"`
+	N   int    `json:"n"`
+}
+
+func appendRec(t *testing.T, l *store.Log, n int) uint64 {
+	t.Helper()
+	id, err := l.Append(func(id uint64) any {
+		return rec{ID: int(id), Dst: fmt.Sprintf("10.0.0.%d", n%250), N: n}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// snapshotAll renders the live record set as one byte blob for
+// bit-identity comparisons across restarts.
+func snapshotAll(t *testing.T, l *store.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.Replay(func(id uint64, data []byte) error {
+		fmt.Fprintf(&buf, "%d\t%s\n", id, data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestMemoryOnlyAppendGet(t *testing.T) {
+	l, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if id := appendRec(t, l, i); id != uint64(i) {
+			t.Fatalf("id = %d, want %d", id, i)
+		}
+	}
+	var r rec
+	ok, err := l.Get(7, &r)
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	if r.ID != 7 || r.N != 7 {
+		t.Fatalf("record = %+v", r)
+	}
+	if ok, _ := l.Get(99, nil); ok {
+		t.Fatal("phantom record")
+	}
+	if l.Len() != 10 || l.NextID() != 10 {
+		t.Fatalf("len=%d next=%d", l.Len(), l.NextID())
+	}
+}
+
+func TestRestartRecoversIdenticalSet(t *testing.T) {
+	dir := t.TempDir()
+	l, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		appendRec(t, l, i)
+	}
+	before := snapshotAll(t, l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := snapshotAll(t, l2); !bytes.Equal(got, before) {
+		t.Fatalf("recovered set differs:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	// IDs keep growing from where they left off.
+	if id := appendRec(t, l2, 100); id != 100 {
+		t.Fatalf("post-restart id = %d, want 100", id)
+	}
+}
+
+func TestRecoveryAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny WAL cap forces several compactions over 50 appends.
+	l, err := store.Open(dir, store.Options{MaxWALBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		appendRec(t, l, i)
+	}
+	before := snapshotAll(t, l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := store.Open(dir, store.Options{MaxWALBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := snapshotAll(t, l2); !bytes.Equal(got, before) {
+		t.Fatal("compacted store did not recover the identical set")
+	}
+}
+
+func TestTornWALTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		appendRec(t, l, i)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop the last 9 bytes off the WAL,
+	// leaving a malformed final line.
+	walPath := filepath.Join(dir, "wal.jsonl")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.New()
+	l2, err := store.Open(dir, store.Options{Obs: o})
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	defer l2.Close()
+	// Every fully written record before the torn line survives.
+	if l2.Len() != 19 {
+		t.Fatalf("recovered %d records, want 19", l2.Len())
+	}
+	var r rec
+	if ok, err := l2.Get(18, &r); !ok || err != nil || r.N != 18 {
+		t.Fatalf("record 18: ok=%v err=%v r=%+v", ok, err, r)
+	}
+	if o.Counter("store_torn_tail_total").Value() != 1 {
+		t.Fatal("torn tail not counted")
+	}
+	// Appends continue from the recovered frontier.
+	if id := appendRec(t, l2, 19); id != 19 {
+		t.Fatalf("post-torn id = %d, want 19", id)
+	}
+}
+
+func TestRetentionCapAdvancesBaseKeepsIDs(t *testing.T) {
+	l, err := store.Open("", store.Options{MaxRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		appendRec(t, l, i)
+	}
+	if l.Len() != 10 || l.Base() != 15 {
+		t.Fatalf("len=%d base=%d", l.Len(), l.Base())
+	}
+	if _, err := l.Get(3, nil); err != store.ErrDropped {
+		t.Fatalf("dropped record: err=%v", err)
+	}
+	var r rec
+	if ok, err := l.Get(24, &r); !ok || err != nil || r.N != 24 {
+		t.Fatalf("surviving record moved: %+v %v", r, err)
+	}
+	// Restarting a capped durable store applies the same cap.
+	dir := t.TempDir()
+	ld, err := store.Open(dir, store.Options{MaxRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		appendRec(t, ld, i)
+	}
+	before := snapshotAll(t, ld)
+	ld.Close()
+	ld2, err := store.Open(dir, store.Options{MaxRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld2.Close()
+	if got := snapshotAll(t, ld2); !bytes.Equal(got, before) {
+		t.Fatalf("capped recovery differs:\n%s\nvs\n%s", before, got)
+	}
+}
+
+func TestWALBytesMetricAndCompactionReset(t *testing.T) {
+	o := obs.New()
+	dir := t.TempDir()
+	l, err := store.Open(dir, store.Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendRec(t, l, 1)
+	if o.Gauge("store_wal_bytes").Value() == 0 || l.WALBytes() == 0 {
+		t.Fatal("wal bytes not tracked")
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Gauge("store_wal_bytes").Value() != 0 || l.WALBytes() != 0 {
+		t.Fatal("compaction did not reset wal bytes")
+	}
+	if o.Counter("store_compactions_total").Value() != 1 {
+		t.Fatal("compaction not counted")
+	}
+}
+
+func TestConcurrentAppendsAssignUniqueIDs(t *testing.T) {
+	l, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const g, per = 8, 50
+	var wg sync.WaitGroup
+	ids := make([][]uint64, g)
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				id, err := l.Append(func(id uint64) any { return rec{ID: int(id), N: j} })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids[i] = append(ids[i], id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, s := range ids {
+		for _, id := range s {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != g*per || l.Len() != g*per {
+		t.Fatalf("ids=%d len=%d", len(seen), l.Len())
+	}
+	// Every record's embedded ID matches its assigned ID.
+	if err := l.Replay(func(id uint64, data []byte) error {
+		var r rec
+		if err := json.Unmarshal(data, &r); err != nil {
+			return err
+		}
+		if uint64(r.ID) != id {
+			t.Fatalf("record %d embeds id %d", id, r.ID)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
