@@ -8,7 +8,8 @@
 //	GET /healthz   plain-text liveness probe
 //
 // The batch scheduler (POST /api/v1/batch) is always on; -batch-workers,
-// -batch-queue-cap, and -batch-quantum tune it. With -store-dir the
+// -batch-queue-cap, -batch-quantum, and -max-batch-pairs (per-request
+// submission size cap) tune it. With -store-dir the
 // measurement archive is durable: a restarted server replays its WAL and
 // snapshot and serves the identical pre-crash measurement set under the
 // same IDs.
@@ -96,6 +97,7 @@ func main() {
 		batchWorkers = flag.Int("batch-workers", 4, "concurrent batch measurement workers")
 		batchQueue   = flag.Int("batch-queue-cap", 1024, "batch dispatch queue cap; submissions past it are load-shed")
 		batchQuantum = flag.Int("batch-quantum", 4, "deficit round-robin quantum: jobs served per user per ring visit")
+		batchPairs   = flag.Int("max-batch-pairs", 0, "max pairs per POST /api/v1/batch request, 400 past it (0 = default 10000)")
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bulk measurements take a while)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
@@ -166,6 +168,7 @@ func main() {
 	plan.SetObs(reg.Obs())
 	api := service.NewAPI(reg)
 	api.MeasureTimeout = *measureTO
+	api.MaxBatchPairs = *batchPairs
 
 	// The batch scheduler's workers live until the shutdown context
 	// fires; Drain below waits for the last in-flight measurements.

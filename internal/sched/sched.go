@@ -66,8 +66,8 @@ var (
 	ErrOverloaded = errors.New("sched: queue full, batch load-shed")
 	// ErrRevoked fails jobs whose user's API key was revoked.
 	ErrRevoked = errors.New("sched: user revoked")
-	// ErrQuota sheds jobs past the caller-supplied admission quota
-	// (the service's per-user measurements-per-day limit).
+	// ErrQuota sheds jobs refused by the Options.TryCharge admission
+	// callback (the service's per-user measurements-per-day limit).
 	ErrQuota = errors.New("sched: daily quota exhausted")
 	// ErrStopped rejects submissions after the scheduler stopped.
 	ErrStopped = errors.New("sched: scheduler stopped")
@@ -105,6 +105,18 @@ type Options struct {
 	// MaxBatches bounds retained batch statuses; the oldest fully
 	// terminal batches are forgotten first. <= 0 means 4096.
 	MaxBatches int
+	// TryCharge, when set, is the admission quota: it is consulted once
+	// per job that will drive a measurement of its own — at admission
+	// for new flight leaders, and at promotion when a revoked leader's
+	// flight is handed to a subscriber — and must atomically charge the
+	// user's budget, returning false when it is exhausted (the job is
+	// then shed with ErrQuota). Day-cache hits and coalesced
+	// subscribers are never charged. The callback runs with the
+	// scheduler lock held: it may take its own locks (the service takes
+	// its registry lock), which fixes the global lock order at
+	// scheduler → callback — nothing may call into the scheduler while
+	// holding the callback's locks. nil means unlimited admission.
+	TryCharge func(user string) bool
 	// Obs receives scheduler metrics; nil disables them.
 	Obs *obs.Registry
 }
@@ -318,43 +330,34 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	}
 }
 
-// Submit admits one batch of jobs for user with no admission quota.
-// See SubmitQuota.
+// Submit admits one batch of jobs for user. Admission is synchronous
+// and never blocks: each job is either resolved from the day cache
+// (state "coalesced"), attached to an identical in-flight job (stays
+// "queued", resolves with the leader), enqueued for dispatch, or shed —
+// when the queue cap is hit, or when Options.TryCharge refuses the
+// user another measurement. Cache hits and coalesced duplicates are
+// free: TryCharge is consulted only for jobs that will drive a
+// measurement of their own, each charged at the moment it is admitted.
+// The snapshot reflects admission; poll Status (or Wait) for
+// completion. The error is ErrOverloaded only when every job that
+// needed queue space was shed by the cap.
 func (s *Scheduler) Submit(ctx context.Context, user string, specs []JobSpec) (BatchStatus, error) {
-	st, _, err := s.SubmitQuota(ctx, user, specs, -1)
-	return st, err
-}
-
-// SubmitQuota admits one batch of jobs for user. Admission is
-// synchronous and never blocks: each job is either resolved from the
-// day cache (state "coalesced"), attached to an identical in-flight
-// job (stays "queued", resolves with the leader), enqueued for
-// dispatch, or shed — when the queue cap is hit, or when the batch
-// needs more new measurements than quota allows (quota < 0 means
-// unlimited). Cache hits and coalesced duplicates are free: only jobs
-// that will drive a measurement of their own count against quota, and
-// the returned admitted count is exactly how many did — the service
-// charges the user's daily budget by it. The snapshot reflects
-// admission; poll Status (or Wait) for completion. The error is
-// ErrOverloaded only when every job that needed queue space was shed
-// by the cap.
-func (s *Scheduler) SubmitQuota(ctx context.Context, user string, specs []JobSpec, quota int) (BatchStatus, int, error) {
 	if err := ctx.Err(); err != nil {
-		return BatchStatus{}, 0, err
+		return BatchStatus{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopped {
-		return BatchStatus{}, 0, ErrStopped
+		return BatchStatus{}, ErrStopped
 	}
 	if s.revoked[user] {
-		return BatchStatus{}, 0, ErrRevoked
+		return BatchStatus{}, ErrRevoked
 	}
 
 	b := &Batch{id: fmt.Sprintf("b%d", s.nextID), user: user}
 	s.nextID++
 	now := time.Now() //revtr:wallclock dispatch-latency observability base, not simulation time
-	needed, capShed, admitted := 0, 0, 0
+	needed, capShed := 0, 0
 	for i, spec := range specs {
 		j := &Job{batch: b, idx: i, user: user, src: spec.Src, dst: spec.Dst, admitted: now}
 		b.jobs = append(b.jobs, j)
@@ -376,14 +379,9 @@ func (s *Scheduler) SubmitQuota(ctx context.Context, user string, specs []JobSpe
 			s.countState(StateQueued)
 			continue
 		}
-		if quota >= 0 && admitted >= quota {
-			j.state = StateShed
-			j.err = ErrQuota
-			s.mShed.Inc()
-			s.countState(StateShed)
-			continue
-		}
 		needed++
+		// Queue space before quota: a cap-shed job never charges, so no
+		// refund path is needed.
 		if s.queued >= s.opts.QueueCap {
 			j.state = StateShed
 			j.err = ErrOverloaded
@@ -392,7 +390,13 @@ func (s *Scheduler) SubmitQuota(ctx context.Context, user string, specs []JobSpe
 			s.countState(StateShed)
 			continue
 		}
-		admitted++
+		if !s.tryChargeLocked(user) {
+			j.state = StateShed
+			j.err = ErrQuota
+			s.mShed.Inc()
+			s.countState(StateShed)
+			continue
+		}
 		s.flights[k] = &flight{leader: j}
 		s.enqueueLocked(j)
 		s.countState(StateQueued)
@@ -401,9 +405,15 @@ func (s *Scheduler) SubmitQuota(ctx context.Context, user string, specs []JobSpe
 	s.mBatches.Inc()
 	st := s.statusLocked(b)
 	if needed > 0 && capShed == needed {
-		return st, admitted, ErrOverloaded
+		return st, ErrOverloaded
 	}
-	return st, admitted, nil
+	return st, nil
+}
+
+// tryChargeLocked consults the admission quota callback for one
+// measurement-driving job. Callers hold s.mu.
+func (s *Scheduler) tryChargeLocked(user string) bool {
+	return s.opts.TryCharge == nil || s.opts.TryCharge(user)
 }
 
 // enqueueLocked appends a job to its user's FIFO and makes sure the
@@ -585,10 +595,13 @@ func (s *Scheduler) complete(j *Job, res any, err error) {
 	s.progress.Broadcast()
 }
 
-// promoteLocked re-enqueues the first non-revoked subscriber as the new
-// flight leader and returns the subscribers that remain attached to it
-// removed — i.e. the ones that must fail with the original error
-// (revoked users' own jobs). Callers hold s.mu.
+// promoteLocked hands a revoked leader's flight to its first surviving
+// subscriber and returns the subscribers that must fail with the
+// original error (revoked users' own jobs). The promoted job will run
+// a real measurement it was never charged for — it was admitted as a
+// free coalesced duplicate — so promotion charges its user via
+// TryCharge; subscribers whose budget is exhausted are shed in place
+// (ErrQuota) and the next one is tried. Callers hold s.mu.
 func (s *Scheduler) promoteLocked(k key, subs []*Job) (failNow []*Job) {
 	var newLeader *Job
 	var carried []*Job
@@ -597,6 +610,13 @@ func (s *Scheduler) promoteLocked(k key, subs []*Job) (failNow []*Job) {
 		case s.revoked[sub.user]:
 			failNow = append(failNow, sub)
 		case newLeader == nil:
+			if !s.tryChargeLocked(sub.user) {
+				sub.state = StateShed
+				sub.err = ErrQuota
+				s.mShed.Inc()
+				s.countState(StateShed)
+				continue
+			}
 			newLeader = sub
 		default:
 			carried = append(carried, sub)

@@ -1,10 +1,18 @@
-// Batch measurement API: the service face of internal/sched. A batch
-// submission charges the user's daily quota once, at admission, and
-// only for jobs that will drive a measurement of their own — day-cache
-// hits and duplicates coalesced onto an in-flight leader are free
-// (Insight 1.4's reuse window applied at the request layer). Because
-// completion never charges, jobs admitted before a midnight ResetDay
-// cannot double-charge the new day's budget.
+// Batch measurement API: the service face of internal/sched. The
+// user's daily quota is charged through the scheduler's TryCharge
+// callback, once per job that drives a measurement of its own: at
+// admission for new flight leaders, and at promotion when a revoked
+// leader's flight is handed to one of its subscribers (whose coalesced
+// ride was free until then). Day-cache hits and duplicates coalesced
+// onto an in-flight leader are never charged (Insight 1.4's reuse
+// window applied at the request layer). Because completion never
+// charges, jobs admitted before a midnight ResetDay cannot
+// double-charge the new day's budget.
+//
+// Lock order: the scheduler calls TryCharge with its own lock held and
+// TryCharge takes r.mu, so the global order is sched.mu → r.mu —
+// nothing in this package may call into the scheduler while holding
+// r.mu.
 package service
 
 import (
@@ -34,6 +42,7 @@ func (r *Registry) EnableBatch(ctx context.Context, opts sched.Options) *sched.S
 		ctx = context.Background()
 	}
 	opts.Obs = r.obs
+	opts.TryCharge = r.tryCharge
 	sc := sched.New(r.batchExec, opts)
 	r.mu.Lock()
 	if r.sched != nil {
@@ -48,7 +57,8 @@ func (r *Registry) EnableBatch(ctx context.Context, opts sched.Options) *sched.S
 }
 
 // batchExec is the scheduler's Exec callback: run one measurement and
-// archive it. Quota was charged at admission, so nothing is charged
+// archive it. Quota was charged at admission (or at promotion, for a
+// leader that inherited a revoked flight), so nothing is charged
 // here — and the user's MaxParallel sync-request limit does not apply;
 // the scheduler's worker bound is the batch concurrency control.
 // Cancelled or panicked measurements return an error so their partial
@@ -77,46 +87,56 @@ func (r *Registry) batchExec(ctx context.Context, key string, src, dst ipv4.Addr
 	return m, nil
 }
 
+// tryCharge is the scheduler's admission-quota callback: atomically
+// charge one measurement against the user's daily budget, refusing
+// when it is exhausted (or the user no longer exists). The scheduler
+// calls it with its own lock held — see the package comment for the
+// resulting sched.mu → r.mu lock order.
+func (r *Registry) tryCharge(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[key]
+	if !ok || u.usedToday >= u.MaxPerDay {
+		return false
+	}
+	u.usedToday++
+	r.userGauges(u)
+	return true
+}
+
 // SubmitBatch admits a batch of (src, dst) jobs for the user owning
 // key. Every src must be a registered source — a batch with any
 // unknown source is rejected whole, before charging anything. The
-// quota check and the charge are atomic under the registry lock, so
-// concurrent submissions cannot overdraw MaxPerDay. The returned
-// snapshot reflects admission (jobs may already be resolved from the
-// day cache); poll BatchStatus for completion. ErrOverloaded means the
-// dispatch queue shed the entire batch.
+// quota check and the charge are atomic inside tryCharge, serialized
+// under the scheduler's admission lock, so concurrent submissions
+// cannot overdraw MaxPerDay. The returned snapshot reflects admission
+// (jobs may already be resolved from the day cache); poll BatchStatus
+// for completion. ErrOverloaded means the dispatch queue shed the
+// entire batch.
 func (r *Registry) SubmitBatch(ctx context.Context, key string, specs []sched.JobSpec) (sched.BatchStatus, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	sc := r.sched
 	if sc == nil {
+		r.mu.Unlock()
 		return sched.BatchStatus{}, ErrBatchDisabled
 	}
-	u, ok := r.users[key]
-	if !ok {
+	if _, ok := r.users[key]; !ok {
+		r.mu.Unlock()
 		return sched.BatchStatus{}, ErrUnauthorized
 	}
 	for _, sp := range specs {
 		if _, ok := r.sources[sp.Src]; !ok {
+			r.mu.Unlock()
 			return sched.BatchStatus{}, ErrUnknownSource
 		}
 	}
-	quota := u.MaxPerDay - u.usedToday
-	if quota < 0 {
-		quota = 0
-	}
-	// Lock order: r.mu then sched.mu. The scheduler never calls Exec
-	// while holding its own lock, so batchExec re-taking r.mu from a
-	// worker cannot deadlock against this.
-	st, admitted, err := sc.SubmitQuota(ctx, key, specs, quota)
-	if admitted > 0 {
-		u.usedToday += admitted
-		r.userGauges(u)
-	}
-	return st, err
+	// r.mu must be released before calling into the scheduler: Submit
+	// takes sched.mu and charges quota back through tryCharge (r.mu).
+	r.mu.Unlock()
+	return sc.Submit(ctx, key, specs)
 }
 
 // BatchStatus snapshots a batch. Only the submitting user (or the

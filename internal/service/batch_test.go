@@ -466,3 +466,136 @@ func TestBatchHTTPFlow(t *testing.T) {
 	}
 	resp.Body.Close()
 }
+
+// TestBatchPromotionChargesQuota: a subscriber promoted to flight
+// leader after its leader's user is revoked runs a real measurement it
+// never paid for at admission (it rode the flight as a free coalesced
+// duplicate), so promotion charges its user's daily budget — and sheds
+// the job with the quota error instead when that budget is exhausted,
+// handing the flight to the next subscriber in line.
+func TestBatchPromotionChargesQuota(t *testing.T) {
+	bb := &gatedBackend{entered: make(chan struct{}, 64), release: make(chan struct{})}
+	reg := service.NewRegistry(bb, "adm")
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := reg.EnableBatch(ctx, sched.Options{Workers: 4, QueueCap: 64})
+	t.Cleanup(func() {
+		cancel()
+		_ = sc.Drain(context.Background())
+	})
+
+	alice, err := reg.AddUser("adm", "alice", 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := reg.AddUser("adm", "bob", 4, 1) // budget of exactly 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	carol, err := reg.AddUser("adm", "carol", 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := mustAddr("10.0.0.1")
+	if _, err := reg.RegisterSource(alice.APIKey, src, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob burns his whole budget on a measurement of his own (parked in
+	// flight behind the gate).
+	stBobOwn, err := reg.SubmitBatch(context.Background(), bob.APIKey, pairs(src, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-bb.entered
+	// Alice leads the shared pair, in flight.
+	if _, err := reg.SubmitBatch(context.Background(), alice.APIKey, pairs(src, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-bb.entered
+	// Bob, then carol, coalesce onto alice's flight — free at admission.
+	stBobX, err := reg.SubmitBatch(context.Background(), bob.APIKey, pairs(src, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stCarolX, err := reg.SubmitBatch(context.Background(), carol.APIKey, pairs(src, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := usedToday(reg, "bob"); got != 1 {
+		t.Fatalf("bob used = %d before revocation, want 1", got)
+	}
+	if got := usedToday(reg, "carol"); got != 0 {
+		t.Fatalf("carol used = %d before revocation, want 0", got)
+	}
+
+	// Revoking alice interrupts her leader; promotion walks the
+	// subscribers in admission order: bob first (broke — shed), then
+	// carol (charged, runs the measurement).
+	if err := reg.RevokeUser("adm", alice.APIKey); err != nil {
+		t.Fatal(err)
+	}
+	close(bb.release)
+
+	fin := waitDone(t, reg, bob.APIKey, stBobX.ID)
+	if fin.Counts["shed"] != 1 {
+		t.Fatalf("bob's coalesced job after promotion: %v, want shed", fin.Counts)
+	}
+	if !strings.Contains(fin.Jobs[0].Error, "quota") {
+		t.Fatalf("bob's shed error %q does not name the quota", fin.Jobs[0].Error)
+	}
+	if got := usedToday(reg, "bob"); got != 1 {
+		t.Fatalf("bob used = %d after failed promotion, want 1 (never charged)", got)
+	}
+
+	fin = waitDone(t, reg, carol.APIKey, stCarolX.ID)
+	if fin.Counts["done"] != 1 {
+		t.Fatalf("carol's promoted job: %v, want done", fin.Counts)
+	}
+	if got := usedToday(reg, "carol"); got != 1 {
+		t.Fatalf("carol used = %d after promotion, want 1 (charged at promotion)", got)
+	}
+
+	// Bob's own measurement still completes normally.
+	fin = waitDone(t, reg, bob.APIKey, stBobOwn.ID)
+	if fin.Counts["done"] != 1 {
+		t.Fatalf("bob's own job: %v, want done", fin.Counts)
+	}
+}
+
+// TestBatchHTTPPairCap: POST /api/v1/batch rejects oversized
+// submissions with 400 before allocating any scheduler state — the
+// queue cap sheds jobs but cannot stop a single request from allocating
+// millions of retained Job entries.
+func TestBatchHTTPPairCap(t *testing.T) {
+	reg, bb, u, src := batchRegistry(t, 100)
+	close(bb.release)
+	api := service.NewAPI(reg)
+	api.MaxBatchPairs = 3
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+
+	var reqPairs []map[string]string
+	for i := 1; i <= 4; i++ {
+		reqPairs = append(reqPairs, map[string]string{
+			"src": src.String(), "dst": fmt.Sprintf("10.0.1.%d", i)})
+	}
+	resp := postJSON(t, ts.URL+"/api/v1/batch",
+		map[string]string{"X-API-Key": u.APIKey}, map[string]any{"pairs": reqPairs})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "batch too large") {
+		t.Fatalf("oversized batch error body %q", body)
+	}
+
+	// At the cap, the submission is accepted.
+	resp = postJSON(t, ts.URL+"/api/v1/batch",
+		map[string]string{"X-API-Key": u.APIKey}, map[string]any{"pairs": reqPairs[:3]})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("at-cap batch: status %d, want 202", resp.StatusCode)
+	}
+	st := decode[sched.BatchStatus](t, resp)
+	waitDone(t, reg, u.APIKey, st.ID)
+}

@@ -39,7 +39,19 @@ type API struct {
 	// abort by closing the connection: the request context propagates
 	// into the engine either way).
 	MeasureTimeout time.Duration
+
+	// MaxBatchPairs caps the pairs accepted in one POST /api/v1/batch
+	// request (400 past it). Every pair allocates a scheduler job
+	// retained until its batch is evicted and is echoed in every status
+	// poll, so without a cap a single request with millions of pairs
+	// means unbounded allocation even though the queue cap sheds them.
+	// <= 0 means the default 10000.
+	MaxBatchPairs int
 }
+
+// defaultMaxBatchPairs bounds a POST /api/v1/batch submission when
+// API.MaxBatchPairs is unset.
+const defaultMaxBatchPairs = 10000
 
 // NewAPI builds the HTTP handler over a registry.
 func NewAPI(reg *Registry) *API {
@@ -257,6 +269,15 @@ func (a *API) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Pairs) == 0 {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch"})
+		return
+	}
+	maxPairs := a.MaxBatchPairs
+	if maxPairs <= 0 {
+		maxPairs = defaultMaxBatchPairs
+	}
+	if len(req.Pairs) > maxPairs {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("batch too large: %d pairs exceeds the %d-pair limit; split the submission", len(req.Pairs), maxPairs)})
 		return
 	}
 	specs := make([]sched.JobSpec, 0, len(req.Pairs))

@@ -325,6 +325,14 @@ func (r *Registry) archiveMeasurement(m *Measurement) error {
 		m.ID = int(id)
 		return m
 	})
+	if errors.Is(err, store.ErrCompaction) {
+		// The measurement is durably archived and its ID consumed; only
+		// the store's post-append compaction failed (it retries on a
+		// later append). Reporting failure here would push the caller
+		// into retrying a measurement that already exists.
+		r.obs.Counter("service_archive_compact_errors_total").Inc()
+		return nil
+	}
 	if err != nil {
 		return fmt.Errorf("service: archive: %w", err)
 	}

@@ -15,7 +15,11 @@
 //     atomically, and the WAL is truncated.
 //   - Recovery loads the snapshot, then replays the WAL on top. A
 //     truncated tail line (the torn write of a crash mid-append) is
-//     tolerated: replay stops at the first malformed line.
+//     tolerated: replay stops at the first malformed line, and Open
+//     then compacts immediately — the recovered set is snapshotted and
+//     the WAL restarted empty — so new appends can never land behind
+//     the torn garbage (where a later restart would stop replay before
+//     them and silently drop acknowledged writes).
 //   - MaxRecords caps the live set; exceeding it drops the oldest
 //     records (the base ID advances, so surviving IDs never move).
 //
@@ -64,6 +68,13 @@ const (
 
 // ErrDropped is returned by Get for IDs older than the retention cap.
 var ErrDropped = errors.New("store: record dropped by retention cap")
+
+// ErrCompaction wraps a failure of the post-append compaction. The
+// append itself already succeeded — the record is durably in the WAL
+// and the id returned next to this error is valid and consumed — so
+// callers must not retry the append; compaction is retried when the
+// next append crosses the WAL cap.
+var ErrCompaction = errors.New("store: compaction failed")
 
 // walRecord is one WAL/snapshot line.
 type walRecord struct {
@@ -161,6 +172,19 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l.wal = wal
 	l.walBytes = st.Size()
+	if l.nTorn > 0 {
+		// Replay stopped before the end of a file (torn tail or damaged
+		// ID sequence). The WAL still holds the unreadable bytes, and
+		// O_APPEND would write new records *after* them — a second
+		// restart would stop replay at the old tear and silently lose
+		// every acknowledged post-recovery append, then reassign their
+		// IDs. Compact now: snapshot the recovered set and restart the
+		// WAL empty, so the tear is gone before the first new append.
+		if err := l.compactLocked(); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
 	l.mWALBytes.Set(l.walBytes)
 	l.mRecords.Set(int64(len(l.recs)))
 	return l, nil
@@ -244,6 +268,11 @@ func (l *Log) loadLines(path string, snapshot bool) error {
 // the record will carry, so callers can embed it in the record itself
 // (the service stamps Measurement.ID this way); the marshalled bytes
 // are what Get and recovery return, bit for bit.
+//
+// An error wrapping ErrCompaction is the one partial-success case: the
+// record was durably appended and the returned id is valid, only the
+// post-append compaction failed. Every other error means the record was
+// not appended and the id was not consumed.
 func (l *Log) Append(build func(id uint64) any) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -275,7 +304,11 @@ func (l *Log) Append(build func(id uint64) any) (uint64, error) {
 	l.mRecords.Set(int64(len(l.recs)))
 	if l.wal != nil && l.walBytes > l.opts.MaxWALBytes {
 		if err := l.compactLocked(); err != nil {
-			return 0, err
+			// The record is already durably in the WAL and in recs; only
+			// the compaction failed. Hand the caller its valid id next to
+			// the error so the append is not mistaken for a failure (a
+			// retry would duplicate the record).
+			return id, fmt.Errorf("%w: %v", ErrCompaction, err)
 		}
 	}
 	return id, nil

@@ -3,6 +3,7 @@ package store_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -279,5 +280,105 @@ func TestConcurrentAppendsAssignUniqueIDs(t *testing.T) {
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTornTailTruncatedBeforeNewAppends is the double-crash regression:
+// records appended after a torn-tail recovery must survive the next
+// restart. Recovery that merely stopped replay at the tear but left the
+// WAL intact would append new records *behind* the torn line (O_APPEND),
+// where a second replay never reaches them — acknowledged, even fsynced,
+// writes would vanish and their IDs be silently reassigned.
+func TestTornTailTruncatedBeforeNewAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := store.Open(dir, store.Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		appendRec(t, l, i)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-append: the last record's line is torn.
+	walPath := filepath.Join(dir, "wal.jsonl")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart: ids 0 and 1 recover; id 2 (torn) is gone and is
+	// reassigned to the next append, which the caller sees acknowledged
+	// and fsynced.
+	l2, err := store.Open(dir, store.Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("recovered %d records, want 2", l2.Len())
+	}
+	if id := appendRec(t, l2, 2); id != 2 {
+		t.Fatalf("post-recovery id = %d, want 2", id)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: the post-recovery record must still be there, with
+	// no torn tail in sight (recovery compacted the tear away).
+	o := obs.New()
+	l3, err := store.Open(dir, store.Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.Len() != 3 || l3.NextID() != 3 {
+		t.Fatalf("len=%d next=%d, want 3/3: post-recovery append lost", l3.Len(), l3.NextID())
+	}
+	var r rec
+	if ok, err := l3.Get(2, &r); !ok || err != nil || r.N != 2 {
+		t.Fatalf("record 2 after double restart: ok=%v err=%v r=%+v", ok, err, r)
+	}
+	if o.Counter("store_torn_tail_total").Value() != 0 {
+		t.Fatal("second restart still sees a torn tail; recovery did not truncate the WAL")
+	}
+}
+
+// TestAppendCompactionFailureKeepsRecord: when the post-append
+// compaction fails, the append itself already succeeded — Append must
+// return the valid consumed id next to an error wrapping ErrCompaction,
+// so callers do not retry (and duplicate) a durably written record.
+func TestAppendCompactionFailureKeepsRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	// A 1-byte WAL cap makes every append attempt a compaction.
+	l, err := store.Open(dir, store.Options{MaxWALBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec(t, l, 0) // compacts successfully
+
+	// Break compaction: the directory vanishes, so the snapshot temp
+	// file cannot be created; the WAL fd itself still accepts writes.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := l.Append(func(id uint64) any { return rec{ID: int(id), N: 1} })
+	if !errors.Is(err, store.ErrCompaction) {
+		t.Fatalf("err = %v, want ErrCompaction", err)
+	}
+	if id != 1 {
+		t.Fatalf("id = %d, want 1 (the append succeeded)", id)
+	}
+	var r rec
+	if ok, err := l.Get(1, &r); !ok || err != nil || r.N != 1 {
+		t.Fatalf("record written before failed compaction lost: ok=%v err=%v r=%+v", ok, err, r)
+	}
+	if l.NextID() != 2 {
+		t.Fatalf("next id = %d, want 2", l.NextID())
 	}
 }
