@@ -60,6 +60,11 @@ fuzz:
 	$(GO) test -fuzz FuzzSpecCodec -fuzztime $(FUZZTIME) ./internal/measure/
 
 # bench in CI runs every benchmark once (-benchtime 1x): a smoke test
-# that the benchmarks still compile and run, not a performance gate.
+# that the benchmarks still compile and run, not a performance gate. It
+# also regenerates BENCH_engine.json (the checked-in engine benchmark
+# corpus — measurements/s at 1..10k in-flight, suspended-machine
+# footprint) so the numbers track the code; commit the refreshed file
+# when it moves materially.
 bench:
+	BENCH_ENGINE_JSON=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteEngineBenchJSON -count=1 ./internal/core/
 	$(GO) test -bench . -benchtime 1x -benchmem ./...

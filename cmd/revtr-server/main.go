@@ -74,33 +74,34 @@ func buildFaultPlan(spec string, loss, icmpFrac, icmpPass, flap float64, fseed u
 
 func main() {
 	var (
-		listen       = flag.String("listen", ":8080", "listen address")
-		ases         = flag.Int("ases", 1000, "ASes in the simulated Internet")
-		seed         = flag.Int64("seed", 1, "simulation seed")
-		adminKey     = flag.String("admin-key", "admin", "admin API key for user management")
-		sites        = flag.Int("sites", 30, "vantage point sites")
-		probeWorkers = flag.Int("probe-workers", 0, "concurrent probes in the shared probe pool (0 = GOMAXPROCS)")
-		measureTO    = flag.Duration("measure-timeout", 0, "per-measurement wall-clock cap when a request sets no timeoutMs (0 = none)")
-		faultSpec    = flag.String("faults", "", "fault plan spec, e.g. loss=0.01,icmp-frac=0.3,icmp-pass=0.5 (see internal/netsim/faults)")
-		faultLoss    = flag.Float64("fault-loss", 0, "per-link packet loss probability (overrides -faults)")
-		faultICMPFr  = flag.Float64("fault-icmp-frac", 0, "fraction of routers that ICMP-rate-limit (overrides -faults)")
-		faultICMPOK  = flag.Float64("fault-icmp-pass", 0, "steady-state pass probability at rate-limiting routers (overrides -faults)")
-		faultFlap    = flag.Float64("fault-flap", 0, "fraction of links mid route-flap per period (overrides -faults)")
-		faultVPOut   = flag.Int("fault-vp-outages", 0, "blackout this many spoof-capable vantage point sites from t=0")
-		faultSeed    = flag.Uint64("fault-seed", 0, "fault plan seed (overrides -faults; 0 = keep)")
-		retries      = flag.Int("probe-retries", 0, "re-issue unanswered probes up to this many times (virtual-time backoff)")
-		retryBackoff = flag.Duration("probe-retry-backoff", 0, "delay before the first probe retry, doubling per retry (0 = default 50ms)")
-		storeDir     = flag.String("store-dir", "", "durable measurement store directory (empty = memory-only; measurements vanish on restart)")
-		storeSync    = flag.Bool("store-sync", false, "fsync the measurement WAL after every append")
-		storeWALMax  = flag.Int64("store-max-wal-bytes", 0, "compact (snapshot + truncate) when the WAL exceeds this (0 = default 4 MiB)")
-		storeRecMax  = flag.Int("store-max-records", 0, "cap the live measurement set, dropping oldest (0 = unbounded)")
-		batchWorkers = flag.Int("batch-workers", 4, "concurrent batch measurement workers")
-		batchQueue   = flag.Int("batch-queue-cap", 1024, "batch dispatch queue cap; submissions past it are load-shed")
-		batchQuantum = flag.Int("batch-quantum", 4, "deficit round-robin quantum: jobs served per user per ring visit")
-		batchPairs   = flag.Int("max-batch-pairs", 0, "max pairs per POST /api/v1/batch request, 400 past it (0 = default 10000)")
-		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
-		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bulk measurements take a while)")
-		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
+		listen        = flag.String("listen", ":8080", "listen address")
+		ases          = flag.Int("ases", 1000, "ASes in the simulated Internet")
+		seed          = flag.Int64("seed", 1, "simulation seed")
+		adminKey      = flag.String("admin-key", "admin", "admin API key for user management")
+		sites         = flag.Int("sites", 30, "vantage point sites")
+		probeWorkers  = flag.Int("probe-workers", 0, "concurrent probes in the shared probe pool (0 = GOMAXPROCS)")
+		measureTO     = flag.Duration("measure-timeout", 0, "per-measurement wall-clock cap when a request sets no timeoutMs (0 = none)")
+		faultSpec     = flag.String("faults", "", "fault plan spec, e.g. loss=0.01,icmp-frac=0.3,icmp-pass=0.5 (see internal/netsim/faults)")
+		faultLoss     = flag.Float64("fault-loss", 0, "per-link packet loss probability (overrides -faults)")
+		faultICMPFr   = flag.Float64("fault-icmp-frac", 0, "fraction of routers that ICMP-rate-limit (overrides -faults)")
+		faultICMPOK   = flag.Float64("fault-icmp-pass", 0, "steady-state pass probability at rate-limiting routers (overrides -faults)")
+		faultFlap     = flag.Float64("fault-flap", 0, "fraction of links mid route-flap per period (overrides -faults)")
+		faultVPOut    = flag.Int("fault-vp-outages", 0, "blackout this many spoof-capable vantage point sites from t=0")
+		faultSeed     = flag.Uint64("fault-seed", 0, "fault plan seed (overrides -faults; 0 = keep)")
+		retries       = flag.Int("probe-retries", 0, "re-issue unanswered probes up to this many times (virtual-time backoff)")
+		retryBackoff  = flag.Duration("probe-retry-backoff", 0, "delay before the first probe retry, doubling per retry (0 = default 50ms)")
+		storeDir      = flag.String("store-dir", "", "durable measurement store directory (empty = memory-only; measurements vanish on restart)")
+		storeSync     = flag.Bool("store-sync", false, "fsync the measurement WAL after every append")
+		storeWALMax   = flag.Int64("store-max-wal-bytes", 0, "compact (snapshot + truncate) when the WAL exceeds this (0 = default 4 MiB)")
+		storeRecMax   = flag.Int("store-max-records", 0, "cap the live measurement set, dropping oldest (0 = unbounded)")
+		batchWorkers  = flag.Int("batch-workers", 4, "concurrent batch measurement workers (sync fallback; async dispatch bounds by -batch-inflight instead)")
+		batchInFlight = flag.Int("batch-inflight", 4096, "max concurrently in-flight async batch measurements")
+		batchQueue    = flag.Int("batch-queue-cap", 1024, "batch dispatch queue cap; submissions past it are load-shed")
+		batchQuantum  = flag.Int("batch-quantum", 4, "deficit round-robin quantum: jobs served per user per ring visit")
+		batchPairs    = flag.Int("max-batch-pairs", 0, "max pairs per POST /api/v1/batch request, 400 past it (0 = default 10000)")
+		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+		writeTimeout  = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bulk measurements take a while)")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -175,12 +176,13 @@ func main() {
 	batchCtx, stopBatch := context.WithCancel(context.Background())
 	defer stopBatch()
 	sc := reg.EnableBatch(batchCtx, sched.Options{
-		Workers:  *batchWorkers,
-		QueueCap: *batchQueue,
-		Quantum:  *batchQuantum,
+		Workers:     *batchWorkers,
+		QueueCap:    *batchQueue,
+		Quantum:     *batchQuantum,
+		MaxInFlight: *batchInFlight,
 	})
-	log.Printf("batch scheduler: %d workers, queue cap %d, quantum %d",
-		*batchWorkers, *batchQueue, *batchQuantum)
+	log.Printf("batch scheduler: %d workers (async: up to %d in flight), queue cap %d, quantum %d",
+		*batchWorkers, *batchInFlight, *batchQueue, *batchQuantum)
 
 	// Print a few example destination addresses so users can try the API
 	// without reading the topology dump.

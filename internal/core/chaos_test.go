@@ -89,10 +89,15 @@ func newChaosEnv(t testing.TB, seed int64, nDsts int) *chaosEnv {
 // engine builds a fresh engine (own cache, own pool with the given
 // worker count) over the environment's fabric and shared clock.
 func (c *chaosEnv) engine(workers int, pol probe.RetryPolicy) (*core.Engine, *probe.Pool) {
+	return c.engineOpts(workers, pol, core.Revtr20Options())
+}
+
+// engineOpts is engine with explicit engine options.
+func (c *chaosEnv) engineOpts(workers int, pol probe.RetryPolicy, o core.Options) (*core.Engine, *probe.Pool) {
 	pool := probe.New(c.env.Fabric, c.env.Pool.Clock(), workers)
 	pool.SetRetry(pol)
 	eng := core.NewEngine(c.env.Fabric, pool, c.ing, c.env.Sites, c.env.Alias,
-		ip2as.Origin{Topo: c.env.Topo}, nil, core.Revtr20Options())
+		ip2as.Origin{Topo: c.env.Topo}, nil, o)
 	return eng, pool
 }
 
@@ -207,7 +212,11 @@ func TestChaosMonotoneCompletion(t *testing.T) {
 // TestChaosVPFailoverDegrades: with every spoof-capable non-source site
 // blacked out, spoofed stages hit dead vantage points; the engine must
 // record failovers, never charge dead VPs to the budget, and still
-// finish every measurement.
+// finish every measurement. The engine-level dead-VP cache means each
+// dead site fails over at most once per engine — before it existed,
+// every measurement re-probed every blacked-out site, so two sweeps
+// over 10 destinations recorded ~20x len(Blackouts) failovers and this
+// test's repetition bound fails.
 func TestChaosVPFailoverDegrades(t *testing.T) {
 	c := newChaosEnv(t, 8, 10)
 	plan := &faults.Plan{}
@@ -220,23 +229,39 @@ func TestChaosVPFailoverDegrades(t *testing.T) {
 		t.Skip("no spoof-capable non-source sites in this seed")
 	}
 	c.env.Fabric.SetFaults(plan)
-	eng, _ := c.engine(4, probe.RetryPolicy{})
+	o := core.Revtr20Options()
+	o.DeadVPTTLUS = 1 << 60 // never expires within the test's virtual horizon
+	eng, _ := c.engineOpts(4, probe.RetryPolicy{}, o)
 	reg := obs.New()
 	eng.SetMetrics(core.NewMetrics(reg))
-	for _, dst := range c.dsts {
-		res := eng.MeasureReverse(context.Background(), c.src, dst)
-		if res.Status != core.StatusComplete && res.Status != core.StatusAborted &&
-			res.Status != core.StatusFailed {
-			t.Fatalf("dst %s: invalid status %v", dst, res.Status)
+	for pass := 0; pass < 2; pass++ {
+		for _, dst := range c.dsts {
+			res := eng.MeasureReverse(context.Background(), c.src, dst)
+			if res.Status != core.StatusComplete && res.Status != core.StatusAborted &&
+				res.Status != core.StatusFailed {
+				t.Fatalf("pass %d dst %s: invalid status %v", pass, dst, res.Status)
+			}
 		}
 	}
 	failovers := reg.Counter("vp_failover_total").Value()
 	spoofBatches := reg.Counter("engine_spoof_batches_total").Value()
+	deadHits := reg.Counter("engine_dead_vp_hits_total").Value()
 	if spoofBatches > 0 && failovers == 0 {
 		t.Fatalf("%d spoofed batches ran against all-dead vantage points without a recorded failover", spoofBatches)
 	}
 	if spoofBatches == 0 {
 		t.Skip("no measurement reached a spoofed stage under this seed")
 	}
-	t.Logf("vp failovers: %d over %d spoofed batches", failovers, spoofBatches)
+	// Serially issued batches are built after every prior delivery has
+	// been absorbed, so with the cache never expiring, a site can be
+	// caught dead at most once across the engine's whole lifetime.
+	if failovers > uint64(len(plan.Blackouts)) {
+		t.Fatalf("failover probes repeated: %d failovers recorded for %d blacked-out sites over %d measurements",
+			failovers, len(plan.Blackouts), 2*len(c.dsts))
+	}
+	if failovers > 0 && deadHits == 0 {
+		t.Fatalf("sites failed over but no later measurement skipped them via the shared dead-VP cache")
+	}
+	t.Logf("vp failovers: %d over %d spoofed batches, %d dead-VP cache skips",
+		failovers, spoofBatches, deadHits)
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+
+	"revtr/internal/netsim/ipv4"
+)
+
+// DefaultDeadVPTTLUS is how long a blacked-out vantage point stays in
+// the engine-level dead-VP cache: 5 virtual minutes, long enough to
+// cover a burst of measurements hitting the same ingress order, short
+// enough that a recovered VP rejoins the rotation promptly.
+const DefaultDeadVPTTLUS int64 = 300_000_000
+
+// deadVPCache remembers vantage points recently observed blacked out,
+// shared across measurements, so a dead VP is discovered once and then
+// skipped instead of being re-probed (and timed out on) by every
+// subsequent measurement. It is clocked on the pool's virtual time —
+// never the wall clock — so engine runs stay deterministic: within one
+// run the virtual clock does not advance between the mark and the
+// lookups, and the bit-identity suites issue measurements serially, so
+// the cache contents at each lookup are a pure function of the
+// measurement history. Under concurrent issuance the cache is advisory
+// (a racing measurement may or may not see a freshly-marked VP), which
+// affects only how fast failover converges, never a measurement's
+// correctness. A nil *deadVPCache is valid and always misses (the
+// cache disabled, restoring strictly per-measurement dead-VP state).
+type deadVPCache struct {
+	mu    sync.Mutex
+	ttlUS int64
+	until map[ipv4.Addr]int64
+}
+
+// newDeadVPCache builds a cache with the given TTL in virtual
+// microseconds: 0 means DefaultDeadVPTTLUS, negative disables the
+// cache entirely (returns nil).
+func newDeadVPCache(ttlUS int64) *deadVPCache {
+	if ttlUS < 0 {
+		return nil
+	}
+	if ttlUS == 0 {
+		ttlUS = DefaultDeadVPTTLUS
+	}
+	return &deadVPCache{ttlUS: ttlUS, until: make(map[ipv4.Addr]int64)}
+}
+
+// isDead reports whether the VP at a was marked dead within the TTL as
+// of virtual time nowUS, dropping the entry once expired.
+func (c *deadVPCache) isDead(a ipv4.Addr, nowUS int64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	until, ok := c.until[a]
+	if !ok {
+		return false
+	}
+	if nowUS >= until {
+		delete(c.until, a)
+		return false
+	}
+	return true
+}
+
+// markDead remembers the VP at a as dead until nowUS + TTL.
+func (c *deadVPCache) markDead(a ipv4.Addr, nowUS int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.until[a] = nowUS + c.ttlUS
+}
+
+// flush drops all entries.
+func (c *deadVPCache) flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.until)
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"log/slog"
-	"time"
 
 	"revtr/internal/alias"
 	"revtr/internal/atlas"
@@ -39,6 +38,11 @@ type Hop struct {
 type Result struct {
 	Src, Dst ipv4.Addr
 	Status   Status
+	// Cancelled marks a measurement cut short by its context: Status is
+	// StatusFailed, but the failure reflects cancellation rather than a
+	// probing outcome, and the metrics account it separately so partial
+	// runs do not skew technique-coverage statistics.
+	Cancelled bool
 	// Hops runs from the destination to the source inclusive.
 	Hops []Hop
 
@@ -107,6 +111,7 @@ type Engine struct {
 
 	logger  *slog.Logger
 	cache   *cache
+	deadVPs *deadVPCache
 	metrics *Metrics
 }
 
@@ -126,12 +131,17 @@ func NewEngine(f *fabric.Fabric, pool *probe.Pool, ing *ingress.Service, sites [
 	return &Engine{
 		F: f, Pool: pool, Ingress: ing, Sites: sites,
 		Alias: res, Mapper: mapper, Adj: adj, Opts: opts,
-		cache: newCache(opts.CacheTTLUS, opts.CacheMaxEntries),
+		cache:   newCache(opts.CacheTTLUS, opts.CacheMaxEntries),
+		deadVPs: newDeadVPCache(opts.DeadVPTTLUS),
 	}
 }
 
-// FlushCache drops cached measurements (e.g. between experiment phases).
-func (e *Engine) FlushCache() { e.cache.Flush() }
+// FlushCache drops cached measurements (e.g. between experiment phases),
+// including the engine-level dead-VP cache.
+func (e *Engine) FlushCache() {
+	e.cache.Flush()
+	e.deadVPs.flush()
+}
 
 // SetMetrics attaches an observability metric set (nil detaches). The
 // engine and its cache record into it from then on. Call before issuing
@@ -220,202 +230,21 @@ func (m *mctx) reserve(n int) uint64 {
 	return base
 }
 
-// rrPing issues one direct Record Route ping through the pool (as a
-// single-request batch, so the measurement retry policy applies and the
-// batch's Sent tally charges every attempt).
-func (e *Engine) rrPing(m *mctx, a measure.Agent, dst ipv4.Addr) measure.RRResult {
-	b := e.Pool.DoPolicy(m.ctx,
-		[]probe.Request{{Kind: measure.KindRR, VP: a, Dst: dst, Seq: m.next()}}, e.retryPolicy())
-	m.count = m.count.Add(b.Sent)
-	return b.Replies[0].RR
-}
-
-// tsPing issues one direct tsprespec Timestamp ping through the pool.
-func (e *Engine) tsPing(m *mctx, a measure.Agent, dst ipv4.Addr, prespec []ipv4.Addr) measure.TSResult {
-	b := e.Pool.DoPolicy(m.ctx,
-		[]probe.Request{{Kind: measure.KindTS, VP: a, Dst: dst, Prespec: prespec, Seq: m.next()}}, e.retryPolicy())
-	m.count = m.count.Add(b.Sent)
-	return b.Replies[0].TS
-}
-
-// spoofedTSPing issues one spoofed Timestamp ping through the pool.
-func (e *Engine) spoofedTSPing(m *mctx, vp measure.Agent, src, dst ipv4.Addr, prespec []ipv4.Addr) measure.TSResult {
-	b := e.Pool.DoPolicy(m.ctx,
-		[]probe.Request{{Kind: measure.KindSpoofedTS, VP: vp, Src: src, Dst: dst, Prespec: prespec, Seq: m.next()}}, e.retryPolicy())
-	m.count = m.count.Add(b.Sent)
-	if b.Replies[0].VPDead {
-		m.markDead(vp.Addr)
-		e.metrics.vpFailover()
-	}
-	return b.Replies[0].TS
-}
-
 // MeasureReverse measures the reverse path from dst back to src,
-// implementing the Fig 2 control flow. ctx deadlines and cancellation
-// are honoured between stages and between spoofed batches: a cancelled
-// measurement returns promptly with StatusFailed and its partial probe
-// accounting. ctx may be nil (treated as context.Background()).
+// implementing the Fig 2 control flow. It is a thin run-to-completion
+// wrapper over the resumable state machine (Begin/Next/Deliver): the
+// caller's goroutine drives every pending probe batch synchronously, so
+// the behavior — probe identities, accounting, caching, determinism —
+// is exactly the machine's. ctx deadlines and cancellation are honoured
+// between stages and between spoofed batches: a cancelled measurement
+// returns promptly with StatusFailed (and Cancelled set) and its
+// partial probe accounting. ctx may be nil (context.Background()).
 func (e *Engine) MeasureReverse(ctx context.Context, src Source, dst ipv4.Addr) *Result {
-	if ctx == nil {
-		ctx = context.Background()
+	mm := e.Begin(ctx, src, dst)
+	for p := mm.Next(); p != nil; p = mm.Next() {
+		mm.Deliver(e.ExecPending(mm.Context(), p))
 	}
-	m := &mctx{ctx: ctx}
-	wallStart := time.Now() //revtr:wallclock engine wall-time metric, distinct from virtual probe time
-	res := &Result{
-		Src:  src.Agent.Addr,
-		Dst:  dst,
-		Hops: []Hop{{Addr: dst, Tech: TechDestination}},
-	}
-	defer func() {
-		res.Probes = m.count
-		e.flagSuspects(res)
-		e.metrics.outcome(res, time.Since(wallStart).Microseconds(), e.cache.size()) //revtr:wallclock engine wall-time metric, distinct from virtual probe time
-	}()
-
-	cur := dst
-	visited := map[ipv4.Addr]bool{dst: true}
-	var excludeAS int32 = -1
-	if e.Opts.ExcludeAtlasFromDstAS {
-		if asn, ok := e.Mapper.ASOf(dst); ok {
-			excludeAS = int32(asn)
-		}
-	}
-
-	for step := 0; step < e.Opts.MaxHops; step++ {
-		if err := ctx.Err(); err != nil {
-			e.debug(src, cur, "cancel", "context done between stages", "err", err.Error())
-			res.Status = StatusFailed
-			return res
-		}
-		if e.reachedSource(cur, src) {
-			e.finish(res, src)
-			return res
-		}
-
-		// Step 1: does the current hop intersect a traceroute to S?
-		if x, ok := e.atlasLookup(src, cur, excludeAS); ok {
-			e.metrics.stage(TechTrIntersect)
-			x.Entry.MarkUseful()
-			e.debug(src, cur, "atlas", "intersected atlas traceroute",
-				"entry", x.Entry.ID, "pos", x.Pos, "suffix", len(x.Suffix))
-			res.AtlasUses = append(res.AtlasUses, AtlasUse{Entry: x.Entry, Pos: x.Pos})
-			for _, h := range x.Suffix {
-				res.Hops = append(res.Hops, Hop{Addr: h, Tech: TechTrIntersect})
-			}
-			e.finish(res, src)
-			return res
-		}
-
-		// Step 2: Record Route.
-		rev := e.revealRR(m, src, cur)
-		res.DurationUS += rev.elapsedUS
-		res.SpoofBatches += rev.batches
-		if err := ctx.Err(); err != nil {
-			e.debug(src, cur, "cancel", "context done during RR step", "err", err.Error())
-			res.Status = StatusFailed
-			return res
-		}
-		if len(rev.hops) > 0 {
-			e.metrics.stage(rev.tech)
-			e.debug(src, cur, "rr", "revealed reverse hops",
-				"tech", rev.tech.String(), "hops", len(rev.hops), "batches", rev.batches)
-			dbrSuspect := false
-			if e.Opts.DetectDBRViolations {
-				var dbrUS int64
-				dbrSuspect, dbrUS = e.checkDBR(m, src, cur, rev.hops[0])
-				res.DurationUS += dbrUS
-			}
-			for i, h := range rev.hops {
-				res.Hops = append(res.Hops, Hop{Addr: h, Tech: rev.tech, DBRSuspect: i == 0 && dbrSuspect})
-			}
-			next := lastProbeable(rev.hops)
-			if !next.IsZero() && !visited[next] {
-				visited[next] = true
-				cur = next
-				continue
-			}
-			// All new hops private or already seen: fall through to the
-			// remaining techniques from the last public hop.
-			if !next.IsZero() {
-				cur = next
-			}
-		}
-
-		// Step 3: Timestamp adjacency testing (Q4; revtr 1.0 only).
-		if e.Opts.UseTimestamp {
-			if next, rtt := e.tryTimestamp(m, src, cur); !next.IsZero() {
-				res.DurationUS += rtt
-				if !visited[next] {
-					e.metrics.stage(TechTS)
-					visited[next] = true
-					res.Hops = append(res.Hops, Hop{Addr: next, Tech: TechTS})
-					cur = next
-					continue
-				}
-			} else {
-				res.DurationUS += rtt
-			}
-		}
-
-		// Step 4: forward traceroute + symmetry assumption (Q5). For the
-		// destination itself the traceroute must actually reach it — a
-		// host that answered nothing gives no evidence a reverse path
-		// exists at all.
-		penult, intra, adjacent, rtt, ok := e.penultimateHop(m, src, cur, cur == dst)
-		res.DurationUS += rtt
-		if adjacent {
-			// The traceroute reaches cur within the source's first-hop
-			// neighborhood: the only gap left is the source's own
-			// attachment, a (usually intradomain) symmetry assumption
-			// away.
-			intra = ip2as.SameAS(e.Mapper, cur, src.Agent.Addr)
-			if e.Opts.Symmetry == SymIntraOnly && !intra || e.Opts.Symmetry == SymNever {
-				e.debug(src, cur, "symmetry", "abort: first-hop assumption not allowed", "intra", intra)
-				res.Status = StatusAborted
-				return res
-			}
-			res.SymAssumed++
-			if !intra {
-				res.InterdomainAssumed++
-			}
-			e.metrics.symmetry(!intra)
-			e.finish(res, src)
-			return res
-		}
-		if !ok {
-			e.debug(src, cur, "symmetry", "fail: no penultimate hop", "hops", len(res.Hops))
-			res.Status = StatusFailed
-			return res
-		}
-		switch e.Opts.Symmetry {
-		case SymAlways:
-			// revtr 1.0: assume regardless, at known accuracy cost.
-		case SymIntraOnly:
-			if !intra {
-				e.debug(src, cur, "symmetry", "abort: interdomain assumption required", "penult", penult.String())
-				res.Status = StatusAborted
-				return res
-			}
-		case SymNever:
-			res.Status = StatusAborted
-			return res
-		}
-		res.SymAssumed++
-		if !intra {
-			res.InterdomainAssumed++
-		}
-		e.metrics.symmetry(!intra)
-		if visited[penult] {
-			e.debug(src, cur, "symmetry", "fail: penultimate already visited", "penult", penult.String())
-			res.Status = StatusFailed
-			return res
-		}
-		visited[penult] = true
-		res.Hops = append(res.Hops, Hop{Addr: penult, Tech: TechSymmetry})
-		cur = penult
-	}
-	res.Status = StatusFailed
-	return res
+	return mm.Result()
 }
 
 // reachedSource reports whether addr is the source or sits on the
@@ -460,288 +289,17 @@ func (e *Engine) atlasLookup(src Source, cur ipv4.Addr, excludeAS int32) (atlas.
 	return x, true
 }
 
-// revealed is the outcome of the RR step.
+// revealed is the outcome of the RR step: the reverse hops the direct
+// probe (Fig 1b) or the spoofed sweep (Fig 1c–d) uncovered, the spoof
+// batches issued, and the virtual time spent. The sweep stops issuing
+// further batches once one reveals hops (batch-granular early exit,
+// which keeps probe counts deterministic — every launched batch runs to
+// completion). See Machine.stepSpoofNext / Machine.onSpoofBatch.
 type revealed struct {
 	hops      []ipv4.Addr
 	tech      Technique
 	batches   int
 	elapsedUS int64
-}
-
-// revealRR uncovers reverse hops from cur toward the source: first a
-// direct RR ping from the source (Fig 1b), then spoofed RR pings from
-// vantage points chosen by the configured policy, in batches (Fig 1c–d).
-// Each batch is submitted to the pool as one unit and executes
-// concurrently; the engine stops issuing further batches once one
-// reveals hops (batch-granular early exit, which keeps probe counts
-// deterministic — every launched batch runs to completion).
-func (e *Engine) revealRR(m *mctx, src Source, cur ipv4.Addr) revealed {
-	if e.Opts.UseCache {
-		if hops, tech, ok := e.cache.getRR(cur, src.Agent.Addr, e.Pool.Now()); ok {
-			return revealed{hops: hops, tech: tech}
-		}
-	}
-	var out revealed
-
-	// Direct RR from the source.
-	rr := e.rrPing(m, src.Agent, cur)
-	out.elapsedUS += rr.RTTUS
-	if rr.Responded {
-		if hops := extractReverse(rr.Recorded, cur, e.Alias); len(hops) > 0 {
-			out.hops, out.tech = hops, TechRR
-			if e.Opts.UseCache {
-				e.cache.putRR(cur, src.Agent.Addr, hops, TechRR, e.Pool.Now())
-			}
-			return out
-		}
-	}
-
-	// Spoofed RR from selected vantage points.
-	pfx, ok := e.F.Topo.BGPPrefixOf(cur)
-	if !ok {
-		return out
-	}
-	plan := e.Ingress.PlanFor(pfx, e.Opts.VPSelection)
-	tried := 0
-	cursor := 0
-	for cursor < len(plan.Order) {
-		if m.ctx.Err() != nil {
-			return out
-		}
-		// Build the next batch from the §4.3 ingress order, skipping the
-		// source and any VP this measurement already saw blacked out, and
-		// backfilling from further down the order so a dead VP costs its
-		// slot, not the whole batch (graceful degradation).
-		reqs := make([]probe.Request, 0, e.Opts.BatchSize)
-		vps := make([]measure.Agent, 0, e.Opts.BatchSize)
-		for cursor < len(plan.Order) && len(reqs) < e.Opts.BatchSize {
-			site := e.Sites[plan.Order[cursor]]
-			cursor++
-			if site.Addr == src.Agent.Addr { // that would be the direct probe again
-				continue
-			}
-			if m.isDead(site.Addr) {
-				continue
-			}
-			reqs = append(reqs, probe.Request{
-				Kind: measure.KindSpoofedRR, VP: site,
-				Src: src.Agent.Addr, Dst: cur, Seq: m.next(),
-			})
-			vps = append(vps, site)
-		}
-		if len(reqs) == 0 {
-			break
-		}
-		out.batches++
-		out.elapsedUS += e.Opts.SpoofTimeoutUS
-		b := e.Pool.DoPolicy(m.ctx, reqs, e.retryPolicy())
-		m.count = m.count.Add(b.Sent)
-		deadHere := 0
-		var best []ipv4.Addr
-		for i, rep := range b.Replies {
-			if rep.VPDead {
-				// The VP could not send at all: remember it and fail over
-				// to the next-closest VP in the ingress order instead of
-				// charging the attempt against the spoof budget.
-				m.markDead(vps[i].Addr)
-				e.metrics.vpFailover()
-				deadHere++
-				e.debug(src, cur, "spoof-rr", "vantage point dead, failing over",
-					"vp", vps[i].Addr.String())
-				continue
-			}
-			if !rep.RR.Responded {
-				continue
-			}
-			if hops := extractReverse(rep.RR.Recorded, cur, e.Alias); len(hops) > len(best) {
-				best = hops
-			}
-		}
-		tried += len(reqs) - b.Skipped - deadHere
-		if len(best) > 0 {
-			out.hops, out.tech = best, TechSpoofRR
-			if e.Opts.UseCache {
-				e.cache.putRR(cur, src.Agent.Addr, best, TechSpoofRR, e.Pool.Now())
-			}
-			return out
-		}
-		if tried >= e.Opts.MaxSpoofVPs {
-			break
-		}
-	}
-	return out
-}
-
-// firstLiveVP returns the first vantage point in the §4.3 ingress order
-// this measurement has not seen blacked out.
-func (e *Engine) firstLiveVP(m *mctx, order []int) (measure.Agent, bool) {
-	for _, si := range order {
-		if site := e.Sites[si]; !m.isDead(site.Addr) {
-			return site, true
-		}
-	}
-	return measure.Agent{}, false
-}
-
-// checkDBR implements Appendix E's optional redundancy: re-reveal the
-// next hop after cur Opts.DBRRepeats more times (default 2, so three
-// samples total counting the original revelation) and report whether a
-// consistent disagreement with firstNext was observed, plus the virtual
-// time spent. The repeats distinguish violators (deterministic,
-// source-dependent next hops) from per-packet load balancers (random
-// next hops), which do not harm accuracy. The direct repeats go out as
-// one concurrent batch; repeats whose direct probe revealed nothing fall
-// back to one spoofed probe each, batched the same way.
-func (e *Engine) checkDBR(m *mctx, src Source, cur, firstNext ipv4.Addr) (bool, int64) {
-	direct := make([]probe.Request, e.Opts.DBRRepeats)
-	for k := range direct {
-		direct[k] = probe.Request{Kind: measure.KindRR, VP: src.Agent, Dst: cur, Seq: m.next()}
-	}
-	b := e.Pool.DoPolicy(m.ctx, direct, e.retryPolicy())
-	m.count = m.count.Add(b.Sent)
-	elapsed := b.MaxRTTUS
-
-	observed := map[ipv4.Addr]bool{firstNext: true}
-	got := 0
-	var fallback []probe.Request
-	for _, rep := range b.Replies {
-		hops := extractReverse(rep.RR.Recorded, cur, e.Alias)
-		if len(hops) == 0 {
-			// Direct probe out of range: one spoofed try for this repeat.
-			pfx, ok := e.F.Topo.BGPPrefixOf(cur)
-			if !ok {
-				continue
-			}
-			plan := e.Ingress.PlanFor(pfx, e.Opts.VPSelection)
-			vp, ok := e.firstLiveVP(m, plan.Order)
-			if !ok {
-				continue
-			}
-			fallback = append(fallback, probe.Request{
-				Kind: measure.KindSpoofedRR, VP: vp,
-				Src: src.Agent.Addr, Dst: cur, Seq: m.next(),
-			})
-			continue
-		}
-		got++
-		observed[hops[0]] = true
-	}
-	if len(fallback) > 0 {
-		fb := e.Pool.DoPolicy(m.ctx, fallback, e.retryPolicy())
-		m.count = m.count.Add(fb.Sent)
-		elapsed += fb.MaxRTTUS
-		for i, rep := range fb.Replies {
-			if rep.VPDead {
-				m.markDead(fallback[i].VP.Addr)
-				e.metrics.vpFailover()
-				continue
-			}
-			if hops := extractReverse(rep.RR.Recorded, cur, e.Alias); len(hops) > 0 {
-				got++
-				observed[hops[0]] = true
-			}
-		}
-	}
-	if got == 0 || len(observed) == 1 {
-		return false, elapsed
-	}
-	// Multiple distinct next hops: if every repeat disagreed with every
-	// other, it is random per-packet balancing, not a violation. We flag
-	// when exactly two distinct values were seen across the 1+DBRRepeats
-	// samples — the repeats agreed with each other against the original.
-	return len(observed) == 2, elapsed
-}
-
-// tryTimestamp tests traceroute-derived adjacencies of cur with
-// tsprespec probes ⟨cur, adjacency⟩ (Fig 1e). A reply stamping both
-// addresses proves the adjacency is on the reverse path.
-func (e *Engine) tryTimestamp(m *mctx, src Source, cur ipv4.Addr) (ipv4.Addr, int64) {
-	var elapsed int64
-	adjs := e.Adj.Adjacent(cur, src.Agent.Addr)
-	n := 0
-	for _, adj := range adjs {
-		if n >= e.Opts.MaxTSAdjacencies {
-			break
-		}
-		if adj.IsPrivate() || adj == cur {
-			continue
-		}
-		n++
-		ts := e.tsPing(m, src.Agent, cur, []ipv4.Addr{cur, adj})
-		elapsed += ts.RTTUS
-		if !ts.Responded {
-			// Some hops only answer options probes arriving on other
-			// paths; try once spoofed from a site (Table 4's spoof-TS).
-			for _, site := range e.Sites {
-				if !site.CanSpoof || site.Addr == src.Agent.Addr || m.isDead(site.Addr) {
-					continue
-				}
-				ts = e.spoofedTSPing(m, site, src.Agent.Addr, cur, []ipv4.Addr{cur, adj})
-				elapsed += ts.RTTUS
-				break
-			}
-		}
-		if ts.Responded && len(ts.Stamped) == 2 && ts.Stamped[0] && ts.Stamped[1] {
-			return adj, elapsed
-		}
-	}
-	return 0, elapsed
-}
-
-// penultimateHop issues (or reuses) a forward traceroute from the source
-// to cur and classifies the last link (Q5). Returns the penultimate hop,
-// whether the (penultimate, cur) link is intradomain under the engine's
-// IP-to-AS mapping, whether cur sits inside the source's first-hop
-// neighborhood (traceroute reaches it in ≤2 hops with no responsive
-// penultimate), the elapsed time, and whether a usable hop was found.
-func (e *Engine) penultimateHop(m *mctx, src Source, cur ipv4.Addr, requireReached bool) (penult ipv4.Addr, intra, adjacent bool, elapsedOut int64, ok bool) {
-	var tr measure.TracerouteResult
-	var elapsed int64
-	if e.Opts.UseCache {
-		if c, ok := e.cache.getTraceroute(cur, src.Agent.Addr, e.Pool.Now()); ok {
-			tr = c
-		}
-	}
-	if tr.Hops == nil {
-		var sent int
-		tr, sent = e.Pool.Traceroute(m.ctx, src.Agent, cur, m.reserve(measure.MaxTracerouteTTL))
-		m.count.Traceroute += uint64(sent)
-		elapsed = tr.RTTUS
-		// A cancelled traceroute measured nothing; caching it would
-		// poison later measurements with an empty result.
-		if e.Opts.UseCache && m.ctx.Err() == nil {
-			e.cache.putTraceroute(cur, src.Agent.Addr, tr, e.Pool.Now())
-		}
-	}
-	if requireReached && !tr.ReachedDst {
-		return 0, false, false, elapsed, false
-	}
-	hops := tr.HopAddrs()
-	// When the traceroute reaches cur, hops ends with cur's echo reply
-	// and the penultimate responsive hop precedes it. When cur itself
-	// does not answer (common for option-responsive but ping-filtered
-	// hops), the last responsive hop stands in as the penultimate — the
-	// symmetry policy still gates whether it is usable.
-	last := len(hops) - 1
-	if tr.ReachedDst {
-		last = len(hops) - 2
-	}
-	for i := last; i >= 0; i-- {
-		if !hops[i].IsPrivate() {
-			penult = hops[i]
-			break
-		}
-	}
-	if penult.IsZero() || penult == cur {
-		// No usable penultimate. If cur is within two hops of the
-		// source (counting silent hops), the gap is the source's own
-		// first-hop region.
-		if tr.ReachedDst && len(tr.Hops) <= 2 {
-			return 0, false, true, elapsed, false
-		}
-		return 0, false, false, elapsed, false
-	}
-	return penult, ip2as.SameAS(e.Mapper, penult, cur), false, elapsed, true
 }
 
 // flagSuspects inserts "*" markers where the AS-level path crosses a link

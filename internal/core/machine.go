@@ -1,0 +1,964 @@
+package core
+
+// The resumable measurement state machine. A reverse traceroute is an
+// explicit state record (Machine) that advances through the Fig 2
+// control flow with pure compute steps and *suspends* whenever it needs
+// probe results — most importantly across the 10 s spoofed-batch
+// timeout that dominates measurement latency (§5.2.4). While suspended
+// a measurement costs memory, not a parked goroutine, so one process
+// can keep tens of thousands in flight.
+//
+// The protocol is pull/push:
+//
+//	mm := eng.Begin(ctx, src, dst)
+//	for p := mm.Next(); p != nil; p = mm.Next() {
+//	    mm.Deliver(eng.ExecPending(mm.Context(), p)) // or async
+//	}
+//	res := mm.Result()
+//
+// Next runs compute phases until the machine either finishes or emits a
+// Pending — the description of the probe work it is waiting on. The
+// caller executes that work however it likes (synchronously through
+// ExecPending, or asynchronously through probe.Pool.Go) and resumes the
+// machine with Deliver. Calling Next again before Deliver returns the
+// same Pending.
+//
+// Determinism: a Machine never reads the wall clock or shared mutable
+// state besides the engine caches; probe identities derive from the
+// per-measurement sequence counter exactly as in the blocking engine,
+// so the suspension points — and Clone/resume at any of them — cannot
+// change replies, counters, or hops (TestSuspendResumeEquivalence).
+import (
+	"context"
+	"maps"
+	"slices"
+	"time"
+
+	"revtr/internal/ip2as"
+	"revtr/internal/measure"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/probe"
+)
+
+// PendingKind distinguishes the two shapes of suspended probe work.
+type PendingKind uint8
+
+const (
+	// PendingProbes is a batch of probe requests (direct or spoofed RR,
+	// Timestamp, DBR repeats) to run as one pool batch.
+	PendingProbes PendingKind = iota
+	// PendingTraceroute is one forward Paris traceroute.
+	PendingTraceroute
+)
+
+// Pending describes the probe work a suspended Machine is waiting on.
+// The requests (or the traceroute's sequence base) were already
+// allocated from the measurement's sequence counter, so executing a
+// Pending is deterministic no matter when or on which goroutine it runs.
+type Pending struct {
+	Kind PendingKind
+
+	// Probe-batch work (Kind == PendingProbes).
+	Reqs   []probe.Request
+	Policy probe.RetryPolicy
+	// Spoofed marks a spoofed-RR batch: the suspension points that wait
+	// out the SpoofTimeoutUS window and dominate measurement latency.
+	Spoofed bool
+
+	// Traceroute work (Kind == PendingTraceroute).
+	Agent   measure.Agent
+	Dst     ipv4.Addr
+	SeqBase uint64
+}
+
+// Delivery carries the completion of a Pending back into the machine.
+type Delivery struct {
+	// Batch answers a PendingProbes suspension.
+	Batch probe.Batch
+	// Tr and TrSent answer a PendingTraceroute suspension.
+	Tr     measure.TracerouteResult
+	TrSent int
+}
+
+// phase enumerates the machine's control-flow positions. *Wait phases
+// always hold a Pending and are only left through Deliver; the others
+// are pure compute and are advanced by Next.
+type phase uint8
+
+const (
+	phTop phase = iota
+	phRRWait
+	phSpoofNext
+	phSpoofWait
+	phAfterRR
+	phDBRWait
+	phDBRFallbackWait
+	phTS
+	phTSNext
+	phTSDirectWait
+	phTSSpoofWait
+	phSym
+	phTrWait
+	phDone
+)
+
+// spoofState is the spoofed-RR sweep in progress: the ingress plan
+// cursor, the §5.3 spoof budget spent, and the vantage points of the
+// in-flight batch (indexed in reply order).
+type spoofState struct {
+	plan   []int // ingress order over Engine.Sites (shared, read-only)
+	cursor int
+	tried  int
+	vps    []measure.Agent
+}
+
+// dbrState is an Appendix E redundancy check in progress.
+type dbrState struct {
+	observed  map[ipv4.Addr]bool
+	got       int
+	elapsedUS int64
+	fallback  []probe.Request
+}
+
+// tsState is the Timestamp adjacency sweep in progress.
+type tsState struct {
+	adjs      []ipv4.Addr
+	i, n      int
+	adj       ipv4.Addr
+	vp        measure.Agent // spoof VP of the in-flight spoofed-TS probe
+	elapsedUS int64
+}
+
+// Machine is one measurement's complete suspended state: current hop,
+// visited set, partial Result, the pending probe work, per-measurement
+// probe accounting, and the per-technique sweep cursors. It is
+// self-contained — Clone at any suspension point yields an independent
+// machine that resumes to a bit-identical Result. A Machine is not safe
+// for concurrent use; drive it from one goroutine at a time (completion
+// callbacks count as the driving goroutine once Deliver is called).
+type Machine struct {
+	e   *Engine
+	src Source
+	dst ipv4.Addr
+
+	m         mctx
+	res       *Result
+	wallStart time.Time
+
+	ph       phase
+	pending  *Pending
+	finished bool
+
+	step      int
+	cur       ipv4.Addr
+	visited   map[ipv4.Addr]bool
+	excludeAS int32
+
+	rev   revealed
+	spoof spoofState
+	dbr   dbrState
+	ts    tsState
+}
+
+// Begin opens a measurement of the reverse path from dst back to src as
+// a resumable state machine. ctx may be nil (context.Background());
+// deadlines and cancellation are honoured between stages and between
+// spoofed batches, exactly as in MeasureReverse.
+func (e *Engine) Begin(ctx context.Context, src Source, dst ipv4.Addr) *Machine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mm := &Machine{
+		e:   e,
+		src: src,
+		dst: dst,
+		m:   mctx{ctx: ctx},
+		res: &Result{
+			Src:  src.Agent.Addr,
+			Dst:  dst,
+			Hops: []Hop{{Addr: dst, Tech: TechDestination}},
+		},
+		wallStart: time.Now(), //revtr:wallclock engine wall-time metric, distinct from virtual probe time
+		ph:        phTop,
+		cur:       dst,
+		visited:   map[ipv4.Addr]bool{dst: true},
+		excludeAS: -1,
+	}
+	if e.Opts.ExcludeAtlasFromDstAS {
+		if asn, ok := e.Mapper.ASOf(dst); ok {
+			mm.excludeAS = int32(asn)
+		}
+	}
+	return mm
+}
+
+// Next advances the machine until it suspends on probe work or
+// finishes. It returns the Pending to execute, or nil when the
+// measurement is done (read Result). Calling Next again before the
+// current Pending is Delivered returns the same Pending.
+func (mm *Machine) Next() *Pending {
+	for !mm.finished && mm.pending == nil {
+		switch mm.ph {
+		case phTop:
+			mm.stepTop()
+		case phSpoofNext:
+			mm.stepSpoofNext()
+		case phAfterRR:
+			mm.stepAfterRR()
+		case phTS:
+			mm.stepTS()
+		case phTSNext:
+			mm.stepTSNext()
+		case phSym:
+			mm.stepSym()
+		default:
+			// Wait phases always hold a Pending; phDone sets finished.
+			panic("core: Machine.Next in a wait phase without pending work")
+		}
+	}
+	return mm.pending
+}
+
+// Deliver resumes a suspended machine with the outcome of its pending
+// probe work. It must be called exactly once per Pending returned by
+// Next; call Next afterwards to advance to the next suspension.
+func (mm *Machine) Deliver(d Delivery) {
+	if mm.finished || mm.pending == nil {
+		panic("core: Machine.Deliver without pending work")
+	}
+	p := mm.pending
+	mm.pending = nil
+	if mm.m.ctx.Err() != nil && skippedByCancel(p, d) {
+		// The pool stopped launching on cancellation: the unsent
+		// requests carry zero-value replies (Sent == false) that the
+		// per-technique handlers would misread as "probed but silent",
+		// skewing coverage accounting. Charge only what was actually
+		// sent and terminate as cancelled, not as a technique failure.
+		if p.Kind == PendingTraceroute {
+			mm.m.count.Traceroute += uint64(d.TrSent)
+		} else {
+			mm.m.count = mm.m.count.Add(d.Batch.Sent)
+		}
+		mm.e.debug(mm.src, mm.cur, "cancel", "probe work cut short by cancellation",
+			"skipped", d.Batch.Skipped)
+		mm.failCancelled()
+		return
+	}
+	switch mm.ph {
+	case phRRWait:
+		mm.onRRDirect(d.Batch)
+	case phSpoofWait:
+		mm.onSpoofBatch(d.Batch)
+	case phDBRWait:
+		mm.onDBRDirect(d.Batch)
+	case phDBRFallbackWait:
+		mm.onDBRFallback(d.Batch)
+	case phTSDirectWait:
+		mm.onTSDirect(d.Batch)
+	case phTSSpoofWait:
+		mm.onTSSpoof(d.Batch)
+	case phTrWait:
+		mm.onTraceroute(d)
+	default:
+		panic("core: Machine.Deliver in a non-wait phase")
+	}
+}
+
+// skippedByCancel reports whether the delivery reflects probe work the
+// pool skipped because the measurement's context was cancelled (the
+// caller checked ctx.Err() != nil already). A batch with Skipped > 0
+// can only arise from cancellation on the engine's paths (it never uses
+// DoStop); a traceroute that sent zero probes never started.
+func skippedByCancel(p *Pending, d Delivery) bool {
+	if p.Kind == PendingTraceroute {
+		return d.TrSent == 0
+	}
+	return d.Batch.Skipped > 0
+}
+
+// Done reports whether the measurement has finished.
+func (mm *Machine) Done() bool { return mm.finished }
+
+// Result returns the finished measurement, or nil while the machine is
+// still running.
+func (mm *Machine) Result() *Result {
+	if !mm.finished {
+		return nil
+	}
+	return mm.res
+}
+
+// Context returns the measurement's context (for executing Pendings).
+func (mm *Machine) Context() context.Context { return mm.m.ctx }
+
+// Clone returns an independent deep copy of the machine. Cloning at a
+// suspension point and driving only the clone produces a bit-identical
+// Result to driving the original — the property test behind the
+// suspend/resume contract. The clone shares the engine (and its
+// caches) with the original; a Pending must be executed for exactly
+// one of the two, since executing it twice would double probe
+// accounting.
+func (mm *Machine) Clone() *Machine {
+	cp := *mm
+	r := *mm.res
+	r.Hops = slices.Clone(mm.res.Hops)
+	r.AtlasUses = slices.Clone(mm.res.AtlasUses)
+	cp.res = &r
+	cp.visited = maps.Clone(mm.visited)
+	cp.m.dead = maps.Clone(mm.m.dead)
+	cp.rev.hops = slices.Clone(mm.rev.hops)
+	cp.spoof.vps = slices.Clone(mm.spoof.vps)
+	cp.dbr.observed = maps.Clone(mm.dbr.observed)
+	cp.dbr.fallback = slices.Clone(mm.dbr.fallback)
+	cp.ts.adjs = slices.Clone(mm.ts.adjs)
+	if mm.pending != nil {
+		p := *mm.pending
+		p.Reqs = slices.Clone(mm.pending.Reqs)
+		cp.pending = &p
+	}
+	return &cp
+}
+
+// isDead reports whether the vantage point at a should be skipped:
+// either this measurement saw it blacked out, or the engine-level
+// dead-VP cache remembers a recent death from an earlier measurement.
+// The shared cache is deterministic under serial issuance (the
+// bit-identity suites vary worker counts, not issue order); under
+// concurrent issuance it is advisory — see Options.DeadVPTTLUS.
+func (mm *Machine) isDead(a ipv4.Addr) bool {
+	if mm.m.isDead(a) {
+		return true
+	}
+	if mm.e.deadVPs.isDead(a, mm.e.Pool.Now()) {
+		mm.e.metrics.deadVPHit()
+		return true
+	}
+	return false
+}
+
+// markDead remembers a blacked-out vantage point in both the
+// per-measurement set and the engine-level TTL cache.
+func (mm *Machine) markDead(a ipv4.Addr) {
+	mm.m.markDead(a)
+	mm.e.deadVPs.markDead(a, mm.e.Pool.Now())
+}
+
+// firstLiveVP returns the first vantage point in the §4.3 ingress order
+// not currently known dead.
+func (mm *Machine) firstLiveVP(order []int) (measure.Agent, bool) {
+	for _, si := range order {
+		if site := mm.e.Sites[si]; !mm.isDead(site.Addr) {
+			return site, true
+		}
+	}
+	return measure.Agent{}, false
+}
+
+// suspendProbes parks the machine on a probe batch.
+func (mm *Machine) suspendProbes(reqs []probe.Request, spoofed bool, next phase) {
+	mm.pending = &Pending{
+		Kind:    PendingProbes,
+		Reqs:    reqs,
+		Policy:  mm.e.retryPolicy(),
+		Spoofed: spoofed,
+	}
+	mm.ph = next
+}
+
+// goTop re-enters the Fig 2 loop for the next reverse hop.
+func (mm *Machine) goTop() {
+	mm.step++
+	mm.ph = phTop
+}
+
+// finishMachine closes the measurement: per-measurement accounting,
+// suspect flags, and outcome metrics — the old MeasureReverse defer.
+func (mm *Machine) finishMachine() {
+	mm.finished = true
+	mm.ph = phDone
+	mm.res.Probes = mm.m.count
+	mm.e.flagSuspects(mm.res)
+	mm.e.metrics.outcome(mm.res, time.Since(mm.wallStart).Microseconds(), mm.e.cache.size()) //revtr:wallclock engine wall-time metric, distinct from virtual probe time
+}
+
+// finishWith terminates with a status.
+func (mm *Machine) finishWith(st Status) {
+	mm.res.Status = st
+	mm.finishMachine()
+}
+
+// failCancelled terminates a measurement cut short by its context.
+func (mm *Machine) failCancelled() {
+	mm.res.Status = StatusFailed
+	mm.res.Cancelled = true
+	mm.finishMachine()
+}
+
+// stepTop is the head of the Fig 2 loop: hop budget, cancellation,
+// source-reached, atlas intersection, then the Record Route stage.
+func (mm *Machine) stepTop() {
+	e, src, cur := mm.e, mm.src, mm.cur
+	if mm.step >= e.Opts.MaxHops {
+		mm.finishWith(StatusFailed)
+		return
+	}
+	if err := mm.m.ctx.Err(); err != nil {
+		e.debug(src, cur, "cancel", "context done between stages", "err", err.Error())
+		mm.failCancelled()
+		return
+	}
+	if e.reachedSource(cur, src) {
+		e.finish(mm.res, src)
+		mm.finishMachine()
+		return
+	}
+
+	// Step 1: does the current hop intersect a traceroute to S?
+	if x, ok := e.atlasLookup(src, cur, mm.excludeAS); ok {
+		e.metrics.stage(TechTrIntersect)
+		x.Entry.MarkUseful()
+		e.debug(src, cur, "atlas", "intersected atlas traceroute",
+			"entry", x.Entry.ID, "pos", x.Pos, "suffix", len(x.Suffix))
+		mm.res.AtlasUses = append(mm.res.AtlasUses, AtlasUse{Entry: x.Entry, Pos: x.Pos})
+		for _, h := range x.Suffix {
+			mm.res.Hops = append(mm.res.Hops, Hop{Addr: h, Tech: TechTrIntersect})
+		}
+		e.finish(mm.res, src)
+		mm.finishMachine()
+		return
+	}
+
+	// Step 2: Record Route, direct first (Fig 1b).
+	mm.rev = revealed{}
+	mm.spoof = spoofState{}
+	if e.Opts.UseCache {
+		if hops, tech, ok := e.cache.getRR(cur, src.Agent.Addr, e.Pool.Now()); ok {
+			mm.rev = revealed{hops: hops, tech: tech}
+			mm.ph = phAfterRR
+			return
+		}
+	}
+	mm.suspendProbes([]probe.Request{
+		{Kind: measure.KindRR, VP: src.Agent, Dst: cur, Seq: mm.m.next()},
+	}, false, phRRWait)
+}
+
+// onRRDirect handles the direct RR reply: adopt revealed hops, or set
+// up the spoofed sweep (Fig 1c–d).
+func (mm *Machine) onRRDirect(b probe.Batch) {
+	mm.m.count = mm.m.count.Add(b.Sent)
+	e, src, cur := mm.e, mm.src, mm.cur
+	rr := b.Replies[0].RR
+	mm.rev.elapsedUS += rr.RTTUS
+	if rr.Responded {
+		if hops := extractReverse(rr.Recorded, cur, e.Alias); len(hops) > 0 {
+			mm.rev.hops, mm.rev.tech = hops, TechRR
+			if e.Opts.UseCache {
+				e.cache.putRR(cur, src.Agent.Addr, hops, TechRR, e.Pool.Now())
+			}
+			mm.ph = phAfterRR
+			return
+		}
+	}
+	pfx, ok := e.F.Topo.BGPPrefixOf(cur)
+	if !ok {
+		mm.ph = phAfterRR
+		return
+	}
+	mm.spoof = spoofState{plan: e.Ingress.PlanFor(pfx, e.Opts.VPSelection).Order}
+	mm.ph = phSpoofNext
+}
+
+// stepSpoofNext builds the next spoofed-RR batch from the §4.3 ingress
+// order, skipping the source and known-dead vantage points and
+// backfilling from further down the order so a dead VP costs its slot,
+// not the whole batch (graceful degradation).
+func (mm *Machine) stepSpoofNext() {
+	e, src, cur := mm.e, mm.src, mm.cur
+	sp := &mm.spoof
+	if mm.m.ctx.Err() != nil || sp.cursor >= len(sp.plan) {
+		mm.ph = phAfterRR
+		return
+	}
+	reqs := make([]probe.Request, 0, e.Opts.BatchSize)
+	vps := make([]measure.Agent, 0, e.Opts.BatchSize)
+	for sp.cursor < len(sp.plan) && len(reqs) < e.Opts.BatchSize {
+		site := e.Sites[sp.plan[sp.cursor]]
+		sp.cursor++
+		if site.Addr == src.Agent.Addr { // that would be the direct probe again
+			continue
+		}
+		if mm.isDead(site.Addr) {
+			continue
+		}
+		reqs = append(reqs, probe.Request{
+			Kind: measure.KindSpoofedRR, VP: site,
+			Src: src.Agent.Addr, Dst: cur, Seq: mm.m.next(),
+		})
+		vps = append(vps, site)
+	}
+	if len(reqs) == 0 {
+		mm.ph = phAfterRR
+		return
+	}
+	sp.vps = vps
+	mm.rev.batches++
+	mm.rev.elapsedUS += e.Opts.SpoofTimeoutUS
+	mm.suspendProbes(reqs, true, phSpoofWait)
+}
+
+// onSpoofBatch digests one spoofed batch: dead-VP failover, best
+// revelation so far, and the MaxSpoofVPs budget.
+func (mm *Machine) onSpoofBatch(b probe.Batch) {
+	mm.m.count = mm.m.count.Add(b.Sent)
+	e, src, cur := mm.e, mm.src, mm.cur
+	sp := &mm.spoof
+	deadHere := 0
+	var best []ipv4.Addr
+	for i, rep := range b.Replies {
+		if rep.VPDead {
+			// The VP could not send at all: remember it and fail over to
+			// the next-closest VP in the ingress order instead of
+			// charging the attempt against the spoof budget.
+			mm.markDead(sp.vps[i].Addr)
+			e.metrics.vpFailover()
+			deadHere++
+			e.debug(src, cur, "spoof-rr", "vantage point dead, failing over",
+				"vp", sp.vps[i].Addr.String())
+			continue
+		}
+		if !rep.RR.Responded {
+			continue
+		}
+		if hops := extractReverse(rep.RR.Recorded, cur, e.Alias); len(hops) > len(best) {
+			best = hops
+		}
+	}
+	sp.tried += len(b.Replies) - b.Skipped - deadHere
+	if len(best) > 0 {
+		mm.rev.hops, mm.rev.tech = best, TechSpoofRR
+		if e.Opts.UseCache {
+			e.cache.putRR(cur, src.Agent.Addr, best, TechSpoofRR, e.Pool.Now())
+		}
+		mm.ph = phAfterRR
+		return
+	}
+	if sp.tried >= e.Opts.MaxSpoofVPs {
+		mm.ph = phAfterRR
+		return
+	}
+	mm.ph = phSpoofNext
+}
+
+// stepAfterRR closes the RR stage: charge its virtual time, re-check
+// cancellation, then adopt revealed hops (optionally after the DBR
+// redundancy check) or move on to Timestamp.
+func (mm *Machine) stepAfterRR() {
+	e, src, cur := mm.e, mm.src, mm.cur
+	mm.res.DurationUS += mm.rev.elapsedUS
+	mm.res.SpoofBatches += mm.rev.batches
+	if err := mm.m.ctx.Err(); err != nil {
+		e.debug(src, cur, "cancel", "context done during RR step", "err", err.Error())
+		mm.failCancelled()
+		return
+	}
+	if len(mm.rev.hops) > 0 {
+		e.metrics.stage(mm.rev.tech)
+		e.debug(src, cur, "rr", "revealed reverse hops",
+			"tech", mm.rev.tech.String(), "hops", len(mm.rev.hops), "batches", mm.rev.batches)
+		if e.Opts.DetectDBRViolations {
+			mm.beginDBR()
+			return
+		}
+		mm.adoptRevealed(false)
+		return
+	}
+	mm.ph = phTS
+}
+
+// beginDBR starts Appendix E's redundancy check: re-reveal the next hop
+// DBRRepeats more times as one direct batch.
+func (mm *Machine) beginDBR() {
+	e := mm.e
+	direct := make([]probe.Request, e.Opts.DBRRepeats)
+	for k := range direct {
+		direct[k] = probe.Request{Kind: measure.KindRR, VP: mm.src.Agent, Dst: mm.cur, Seq: mm.m.next()}
+	}
+	mm.dbr = dbrState{observed: map[ipv4.Addr]bool{mm.rev.hops[0]: true}}
+	mm.suspendProbes(direct, false, phDBRWait)
+}
+
+// onDBRDirect digests the direct DBR repeats; repeats whose direct
+// probe revealed nothing fall back to one spoofed probe each, batched.
+func (mm *Machine) onDBRDirect(b probe.Batch) {
+	mm.m.count = mm.m.count.Add(b.Sent)
+	e, src, cur := mm.e, mm.src, mm.cur
+	d := &mm.dbr
+	d.elapsedUS += b.MaxRTTUS
+	var fallback []probe.Request
+	for _, rep := range b.Replies {
+		hops := extractReverse(rep.RR.Recorded, cur, e.Alias)
+		if len(hops) == 0 {
+			// Direct probe out of range: one spoofed try for this repeat.
+			pfx, ok := e.F.Topo.BGPPrefixOf(cur)
+			if !ok {
+				continue
+			}
+			plan := e.Ingress.PlanFor(pfx, e.Opts.VPSelection)
+			vp, ok := mm.firstLiveVP(plan.Order)
+			if !ok {
+				continue
+			}
+			fallback = append(fallback, probe.Request{
+				Kind: measure.KindSpoofedRR, VP: vp,
+				Src: src.Agent.Addr, Dst: cur, Seq: mm.m.next(),
+			})
+			continue
+		}
+		d.got++
+		d.observed[hops[0]] = true
+	}
+	if len(fallback) > 0 {
+		d.fallback = fallback
+		mm.suspendProbes(fallback, true, phDBRFallbackWait)
+		return
+	}
+	mm.finishDBR()
+}
+
+// onDBRFallback digests the spoofed DBR fallbacks.
+func (mm *Machine) onDBRFallback(b probe.Batch) {
+	mm.m.count = mm.m.count.Add(b.Sent)
+	e, cur := mm.e, mm.cur
+	d := &mm.dbr
+	d.elapsedUS += b.MaxRTTUS
+	for i, rep := range b.Replies {
+		if rep.VPDead {
+			mm.markDead(d.fallback[i].VP.Addr)
+			e.metrics.vpFailover()
+			continue
+		}
+		if hops := extractReverse(rep.RR.Recorded, cur, e.Alias); len(hops) > 0 {
+			d.got++
+			d.observed[hops[0]] = true
+		}
+	}
+	d.fallback = nil
+	mm.finishDBR()
+}
+
+// finishDBR classifies the samples: exactly two distinct next hops
+// across 1+DBRRepeats samples means the repeats agreed with each other
+// against the original — a violator, not per-packet load balancing.
+func (mm *Machine) finishDBR() {
+	d := &mm.dbr
+	suspect := d.got > 0 && len(d.observed) == 2
+	mm.res.DurationUS += d.elapsedUS
+	mm.adoptRevealed(suspect)
+}
+
+// adoptRevealed appends the RR-revealed hops to the result and decides
+// where the loop continues.
+func (mm *Machine) adoptRevealed(dbrSuspect bool) {
+	for i, h := range mm.rev.hops {
+		mm.res.Hops = append(mm.res.Hops, Hop{Addr: h, Tech: mm.rev.tech, DBRSuspect: i == 0 && dbrSuspect})
+	}
+	next := lastProbeable(mm.rev.hops)
+	if !next.IsZero() && !mm.visited[next] {
+		mm.visited[next] = true
+		mm.cur = next
+		mm.goTop()
+		return
+	}
+	// All new hops private or already seen: fall through to the
+	// remaining techniques from the last public hop.
+	if !next.IsZero() {
+		mm.cur = next
+	}
+	mm.ph = phTS
+}
+
+// stepTS opens the Timestamp adjacency stage (Q4; revtr 1.0 only).
+func (mm *Machine) stepTS() {
+	if !mm.e.Opts.UseTimestamp {
+		mm.ph = phSym
+		return
+	}
+	mm.ts = tsState{adjs: mm.e.Adj.Adjacent(mm.cur, mm.src.Agent.Addr)}
+	mm.ph = phTSNext
+}
+
+// stepTSNext issues the next tsprespec probe ⟨cur, adjacency⟩ (Fig 1e).
+func (mm *Machine) stepTSNext() {
+	e, cur := mm.e, mm.cur
+	t := &mm.ts
+	for t.i < len(t.adjs) {
+		if t.n >= e.Opts.MaxTSAdjacencies {
+			break
+		}
+		adj := t.adjs[t.i]
+		t.i++
+		if adj.IsPrivate() || adj == cur {
+			continue
+		}
+		t.n++
+		t.adj = adj
+		mm.suspendProbes([]probe.Request{
+			{Kind: measure.KindTS, VP: mm.src.Agent, Dst: cur, Prespec: []ipv4.Addr{cur, adj}, Seq: mm.m.next()},
+		}, false, phTSDirectWait)
+		return
+	}
+	mm.tsDone(0)
+}
+
+// onTSDirect digests a direct Timestamp reply; silent hops get one
+// spoofed try from a site (Table 4's spoof-TS).
+func (mm *Machine) onTSDirect(b probe.Batch) {
+	mm.m.count = mm.m.count.Add(b.Sent)
+	e, src, cur := mm.e, mm.src, mm.cur
+	t := &mm.ts
+	ts := b.Replies[0].TS
+	t.elapsedUS += ts.RTTUS
+	if !ts.Responded {
+		// Some hops only answer options probes arriving on other paths.
+		for _, site := range e.Sites {
+			if !site.CanSpoof || site.Addr == src.Agent.Addr || mm.isDead(site.Addr) {
+				continue
+			}
+			t.vp = site
+			mm.suspendProbes([]probe.Request{
+				{Kind: measure.KindSpoofedTS, VP: site, Src: src.Agent.Addr, Dst: cur,
+					Prespec: []ipv4.Addr{cur, t.adj}, Seq: mm.m.next()},
+			}, false, phTSSpoofWait)
+			return
+		}
+	}
+	mm.evalTS(ts)
+}
+
+// onTSSpoof digests the spoofed Timestamp fallback.
+func (mm *Machine) onTSSpoof(b probe.Batch) {
+	mm.m.count = mm.m.count.Add(b.Sent)
+	rep := b.Replies[0]
+	if rep.VPDead {
+		mm.markDead(mm.ts.vp.Addr)
+		mm.e.metrics.vpFailover()
+	}
+	mm.ts.elapsedUS += rep.TS.RTTUS
+	mm.evalTS(rep.TS)
+}
+
+// evalTS checks whether a reply stamped both prespecified addresses,
+// proving the adjacency is on the reverse path.
+func (mm *Machine) evalTS(ts measure.TSResult) {
+	if ts.Responded && len(ts.Stamped) == 2 && ts.Stamped[0] && ts.Stamped[1] {
+		mm.tsDone(mm.ts.adj)
+		return
+	}
+	mm.ph = phTSNext
+}
+
+// tsDone closes the Timestamp stage, adopting next if it is new.
+func (mm *Machine) tsDone(next ipv4.Addr) {
+	mm.res.DurationUS += mm.ts.elapsedUS
+	mm.ts.elapsedUS = 0
+	if !next.IsZero() && !mm.visited[next] {
+		mm.e.metrics.stage(TechTS)
+		mm.visited[next] = true
+		mm.res.Hops = append(mm.res.Hops, Hop{Addr: next, Tech: TechTS})
+		mm.cur = next
+		mm.goTop()
+		return
+	}
+	mm.ph = phSym
+}
+
+// stepSym opens step 4: forward traceroute + symmetry assumption (Q5).
+func (mm *Machine) stepSym() {
+	e, src, cur := mm.e, mm.src, mm.cur
+	var tr measure.TracerouteResult
+	if e.Opts.UseCache {
+		if c, ok := e.cache.getTraceroute(cur, src.Agent.Addr, e.Pool.Now()); ok {
+			tr = c
+		}
+	}
+	if tr.Hops == nil {
+		mm.pending = &Pending{
+			Kind:    PendingTraceroute,
+			Agent:   src.Agent,
+			Dst:     cur,
+			SeqBase: mm.m.reserve(measure.MaxTracerouteTTL),
+		}
+		mm.ph = phTrWait
+		return
+	}
+	mm.classifyTraceroute(tr, 0)
+}
+
+// onTraceroute accounts a measured traceroute and classifies it.
+func (mm *Machine) onTraceroute(d Delivery) {
+	e, src, cur := mm.e, mm.src, mm.cur
+	mm.m.count.Traceroute += uint64(d.TrSent)
+	// A cancelled traceroute measured nothing; caching it would poison
+	// later measurements with an empty result.
+	if e.Opts.UseCache && mm.m.ctx.Err() == nil {
+		e.cache.putTraceroute(cur, src.Agent.Addr, d.Tr, e.Pool.Now())
+	}
+	mm.classifyTraceroute(d.Tr, d.Tr.RTTUS)
+}
+
+// classifyTraceroute is the last-link classification of penultimateHop
+// plus the symmetry policy decision. For the destination itself the
+// traceroute must actually reach it — a host that answered nothing
+// gives no evidence a reverse path exists at all.
+func (mm *Machine) classifyTraceroute(tr measure.TracerouteResult, elapsed int64) {
+	e, src, cur := mm.e, mm.src, mm.cur
+	mm.res.DurationUS += elapsed
+	requireReached := cur == mm.dst
+
+	var penult ipv4.Addr
+	intra, adjacent, usable := false, false, false
+	if !requireReached || tr.ReachedDst {
+		hops := tr.HopAddrs()
+		// When the traceroute reaches cur, hops ends with cur's echo
+		// reply and the penultimate responsive hop precedes it. When cur
+		// itself does not answer, the last responsive hop stands in as
+		// the penultimate — the symmetry policy still gates whether it
+		// is usable.
+		last := len(hops) - 1
+		if tr.ReachedDst {
+			last = len(hops) - 2
+		}
+		for i := last; i >= 0; i-- {
+			if !hops[i].IsPrivate() {
+				penult = hops[i]
+				break
+			}
+		}
+		if penult.IsZero() || penult == cur {
+			// No usable penultimate. If cur is within two hops of the
+			// source (counting silent hops), the gap is the source's own
+			// first-hop region.
+			penult = 0
+			if tr.ReachedDst && len(tr.Hops) <= 2 {
+				adjacent = true
+			}
+		} else {
+			intra = ip2as.SameAS(e.Mapper, penult, cur)
+			usable = true
+		}
+	}
+
+	if adjacent {
+		// The traceroute reaches cur within the source's first-hop
+		// neighborhood: the only gap left is the source's own
+		// attachment, a (usually intradomain) symmetry assumption away.
+		intra = ip2as.SameAS(e.Mapper, cur, src.Agent.Addr)
+		if e.Opts.Symmetry == SymIntraOnly && !intra || e.Opts.Symmetry == SymNever {
+			e.debug(src, cur, "symmetry", "abort: first-hop assumption not allowed", "intra", intra)
+			mm.finishWith(StatusAborted)
+			return
+		}
+		mm.res.SymAssumed++
+		if !intra {
+			mm.res.InterdomainAssumed++
+		}
+		e.metrics.symmetry(!intra)
+		e.finish(mm.res, src)
+		mm.finishMachine()
+		return
+	}
+	if !usable {
+		e.debug(src, cur, "symmetry", "fail: no penultimate hop", "hops", len(mm.res.Hops))
+		mm.finishWith(StatusFailed)
+		return
+	}
+	switch e.Opts.Symmetry {
+	case SymAlways:
+		// revtr 1.0: assume regardless, at known accuracy cost.
+	case SymIntraOnly:
+		if !intra {
+			e.debug(src, cur, "symmetry", "abort: interdomain assumption required", "penult", penult.String())
+			mm.finishWith(StatusAborted)
+			return
+		}
+	case SymNever:
+		mm.finishWith(StatusAborted)
+		return
+	}
+	mm.res.SymAssumed++
+	if !intra {
+		mm.res.InterdomainAssumed++
+	}
+	e.metrics.symmetry(!intra)
+	if mm.visited[penult] {
+		e.debug(src, cur, "symmetry", "fail: penultimate already visited", "penult", penult.String())
+		mm.finishWith(StatusFailed)
+		return
+	}
+	mm.visited[penult] = true
+	mm.res.Hops = append(mm.res.Hops, Hop{Addr: penult, Tech: TechSymmetry})
+	mm.cur = penult
+	mm.goTop()
+}
+
+// ExecPending executes one pending work descriptor synchronously on the
+// caller's goroutine and returns the Delivery that resumes the machine.
+// MeasureReverse uses it as its drive loop; tests use it to drive
+// machines by hand at chosen suspension points.
+func (e *Engine) ExecPending(ctx context.Context, p *Pending) Delivery {
+	if p.Kind == PendingTraceroute {
+		tr, sent := e.Pool.Traceroute(ctx, p.Agent, p.Dst, p.SeqBase)
+		return Delivery{Tr: tr, TrSent: sent}
+	}
+	return Delivery{Batch: e.Pool.DoPolicy(ctx, p.Reqs, p.Policy)}
+}
+
+// MeasureAsync runs one measurement without parking a goroutine: the
+// machine's pending probe work is queued on the pool's asynchronous
+// executors and each completion resumes the machine where it suspended.
+// done is called exactly once with the finished Result — possibly
+// synchronously (cache hits, atlas intersections at the destination, or
+// an already-cancelled ctx complete without probe work), otherwise from
+// a pool executor goroutine. A measurement that panics mid-flight
+// reports done(nil), mirroring the service layer's recover contract for
+// the blocking path. Concurrency is bounded by memory: 10k+ suspended
+// machines cost heap, while goroutines stay bounded by the pool's
+// worker budget.
+func (e *Engine) MeasureAsync(ctx context.Context, src Source, dst ipv4.Addr, done func(*Result)) {
+	e.driveAsync(e.Begin(ctx, src, dst), nil, done)
+}
+
+// driveAsync advances a machine until it suspends, then hands the
+// pending work to the pool with a completion callback that re-enters
+// driveAsync. d, when non-nil, is delivered first (the completion that
+// woke the machine).
+func (e *Engine) driveAsync(mm *Machine, d *Delivery, done func(*Result)) {
+	completed := false
+	defer func() {
+		if v := recover(); v != nil {
+			if completed {
+				panic(v)
+			}
+			done(nil)
+		}
+	}()
+	if d != nil {
+		mm.Deliver(*d)
+	}
+	p := mm.Next()
+	if p == nil {
+		completed = true
+		done(mm.Result())
+		return
+	}
+	if p.Kind == PendingTraceroute {
+		e.Pool.GoTraceroute(mm.Context(), p.Agent, p.Dst, p.SeqBase, func(tr measure.TracerouteResult, sent int) {
+			e.driveAsync(mm, &Delivery{Tr: tr, TrSent: sent}, done)
+		})
+		return
+	}
+	e.Pool.Go(mm.Context(), p.Reqs, p.Policy, func(b probe.Batch) {
+		e.driveAsync(mm, &Delivery{Batch: b}, done)
+	})
+}

@@ -22,18 +22,25 @@ type Metrics struct {
 	StageSym      *obs.Counter // symmetry assumptions taken
 	SymInterAS    *obs.Counter // ...of which interdomain (SymAlways only)
 
-	// Outcome counters.
-	Complete *obs.Counter
-	Aborted  *obs.Counter
-	Failed   *obs.Counter
+	// Outcome counters. Cancelled counts measurements cut short by their
+	// context (Result.Cancelled): they end StatusFailed but are accounted
+	// here instead of Failed so partial runs do not skew the
+	// technique-coverage statistics.
+	Complete  *obs.Counter
+	Aborted   *obs.Counter
+	Failed    *obs.Counter
+	Cancelled *obs.Counter
 
 	// SpoofBatches counts spoofed-RR batches issued (each costs a
 	// 10 s timeout in virtual time, §5.2.4).
 	SpoofBatches *obs.Counter
 
 	// VPFailover counts probes redirected to another vantage point after
-	// the planned VP was observed inside a blackout window.
+	// the planned VP was observed inside a blackout window. DeadVPHits
+	// counts plan slots skipped because the engine-level dead-VP cache
+	// already knew the VP was out — failovers that cost nothing.
 	VPFailover *obs.Counter
+	DeadVPHits *obs.Counter
 
 	// Cache accounting (Insight 1.4 reuse).
 	CacheHitRR     *obs.Counter
@@ -60,12 +67,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		StageSym:      reg.Counter("engine_stage_symmetry_total"),
 		SymInterAS:    reg.Counter("engine_symmetry_interdomain_total"),
 
-		Complete: reg.Counter("engine_measure_complete_total"),
-		Aborted:  reg.Counter("engine_measure_aborted_total"),
-		Failed:   reg.Counter("engine_measure_failed_total"),
+		Complete:  reg.Counter("engine_measure_complete_total"),
+		Aborted:   reg.Counter("engine_measure_aborted_total"),
+		Failed:    reg.Counter("engine_measure_failed_total"),
+		Cancelled: reg.Counter("engine_measure_cancelled_total"),
 
 		SpoofBatches: reg.Counter("engine_spoof_batches_total"),
 		VPFailover:   reg.Counter("vp_failover_total"),
+		DeadVPHits:   reg.Counter("engine_dead_vp_hits_total"),
 
 		CacheHitRR:     reg.Counter("engine_cache_rr_hits_total"),
 		CacheMissRR:    reg.Counter("engine_cache_rr_misses_total"),
@@ -106,6 +115,14 @@ func (m *Metrics) vpFailover() {
 	m.VPFailover.Inc()
 }
 
+// deadVPHit records one plan slot skipped via the shared dead-VP cache.
+func (m *Metrics) deadVPHit() {
+	if m == nil {
+		return
+	}
+	m.DeadVPHits.Inc()
+}
+
 // symmetry records one symmetry assumption.
 func (m *Metrics) symmetry(interdomain bool) {
 	if m == nil {
@@ -122,11 +139,13 @@ func (m *Metrics) outcome(res *Result, wallUS int64, cacheEntries int) {
 	if m == nil {
 		return
 	}
-	switch res.Status {
-	case StatusComplete:
+	switch {
+	case res.Status == StatusComplete:
 		m.Complete.Inc()
-	case StatusAborted:
+	case res.Status == StatusAborted:
 		m.Aborted.Inc()
+	case res.Cancelled:
+		m.Cancelled.Inc()
 	default:
 		m.Failed.Inc()
 	}

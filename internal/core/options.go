@@ -66,6 +66,13 @@ type Options struct {
 	CacheMaxEntries int
 	// AtlasMaxAgeUS rejects atlas entries older than this (0 = no limit).
 	AtlasMaxAgeUS int64
+	// DeadVPTTLUS is how long a blacked-out vantage point stays in the
+	// engine-level dead-VP cache (virtual microseconds), letting later
+	// measurements skip it instead of re-discovering the blackout with a
+	// timed-out spoofed batch of their own. 0 selects
+	// DefaultDeadVPTTLUS; negative disables the shared cache, reverting
+	// to strictly per-measurement dead-VP state.
+	DeadVPTTLUS int64
 	// ExcludeAtlasFromDstAS ignores atlas traceroutes measured from
 	// probes in the destination's AS — the §5.2.1 evaluation rule that
 	// keeps the system from trivially "measuring" a path by reading the

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core_test
+
+// raceEnabled reports whether the race detector is compiled in, so big
+// fan-out tests can shrink to a race-budget-friendly size.
+const raceEnabled = false

@@ -150,7 +150,17 @@ type Pool struct {
 	// Aggregate counters, atomic so concurrent batches can share them.
 	ping, rr, spoofRR, ts, spoofTS, traceroute atomic.Uint64
 
+	// Asynchronous work queue (Go / GoTraceroute): tasks wait here as
+	// closures, not as parked goroutines. Executor goroutines are spawned
+	// on demand up to the worker budget and exit when the queue drains,
+	// so an idle pool holds zero goroutines no matter how many suspended
+	// measurements it serves.
+	qmu   sync.Mutex
+	queue []func()
+	execs int
+
 	inFlight    *obs.Gauge
+	asyncQueued *obs.Gauge
 	batchSize   *obs.Histogram
 	batchWallUS *obs.Histogram
 	batches     *obs.Counter
@@ -190,6 +200,7 @@ func (p *Pool) SetObs(reg *obs.Registry) {
 		return
 	}
 	p.inFlight = reg.Gauge("probe_pool_inflight")
+	p.asyncQueued = reg.Gauge("probe_pool_async_queue")
 	p.batchSize = reg.Histogram("probe_pool_batch_size", batchSizeBuckets)
 	p.batchWallUS = reg.Histogram("probe_pool_batch_wall_us", nil)
 	p.batches = reg.Counter("probe_pool_batches_total")
@@ -384,6 +395,72 @@ func (p *Pool) Traceroute(ctx context.Context, a measure.Agent, dst ipv4.Addr, s
 	p.inFlight.Add(-1)
 	p.traceroute.Add(uint64(sent))
 	return tr, sent
+}
+
+// Go executes a batch asynchronously: the request is queued and done is
+// called with the finished Batch from an executor goroutine. The batch
+// itself runs through the same run path as DoPolicy, so replies,
+// counters, and virtual time are bit-identical to a synchronous call.
+// Executors are bounded by the pool's worker budget and spin down when
+// the queue drains: a caller with 10k suspended measurements holds 10k
+// queued closures, not 10k goroutines. done must not block indefinitely
+// (it runs on the executor; typical callers resume a state machine and
+// either finish or re-queue).
+func (p *Pool) Go(ctx context.Context, reqs []Request, pol RetryPolicy, done func(Batch)) {
+	p.submit(func() { done(p.run(ctx, reqs, nil, pol)) })
+}
+
+// GoTraceroute is Traceroute, asynchronously, under the same executor
+// discipline as Go.
+func (p *Pool) GoTraceroute(ctx context.Context, a measure.Agent, dst ipv4.Addr, seqBase uint64, done func(measure.TracerouteResult, int)) {
+	p.submit(func() {
+		tr, sent := p.Traceroute(ctx, a, dst, seqBase)
+		done(tr, sent)
+	})
+}
+
+// submit enqueues one task and ensures an executor is running. The
+// spawn decision and the queue append happen under one lock, so a task
+// is never left queued with zero executors: the last executor only
+// exits after observing an empty queue under the same lock.
+func (p *Pool) submit(task func()) {
+	p.qmu.Lock()
+	p.queue = append(p.queue, task)
+	p.asyncQueued.Set(int64(len(p.queue)))
+	if p.execs < p.workers {
+		p.execs++
+		go p.executor()
+	}
+	p.qmu.Unlock()
+}
+
+// executor drains the async queue FIFO and exits when it is empty.
+func (p *Pool) executor() {
+	for {
+		p.qmu.Lock()
+		if len(p.queue) == 0 {
+			p.execs--
+			p.qmu.Unlock()
+			return
+		}
+		task := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		if len(p.queue) == 0 {
+			p.queue = nil // release the drained array's backing memory
+		}
+		p.asyncQueued.Set(int64(len(p.queue)))
+		p.qmu.Unlock()
+		task()
+	}
+}
+
+// AsyncBacklog reports the number of queued (not yet executing)
+// asynchronous tasks.
+func (p *Pool) AsyncBacklog() int {
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	return len(p.queue)
 }
 
 // One issues a single probe inline on the caller's goroutine (still

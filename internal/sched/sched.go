@@ -81,6 +81,14 @@ var (
 // archived *service.Measurement.
 type Exec func(ctx context.Context, user string, src, dst ipv4.Addr) (any, error)
 
+// ExecAsync starts one admitted job without blocking the dispatcher:
+// the callee begins the measurement (e.g. core.Engine.MeasureAsync) and
+// calls done exactly once when it finishes. With an ExecAsync callback
+// the scheduler runs a single dispatcher instead of a worker pool, and
+// concurrency is bounded by Options.MaxInFlight suspended measurements
+// rather than Options.Workers parked goroutines — the §5.2.4 shape.
+type ExecAsync func(ctx context.Context, user string, src, dst ipv4.Addr, done func(res any, err error))
+
 // JobSpec is one (src, dst) pair of a submitted batch.
 type JobSpec struct {
 	Src ipv4.Addr
@@ -89,8 +97,17 @@ type JobSpec struct {
 
 // Options tunes the scheduler.
 type Options struct {
-	// Workers bounds concurrent Exec calls. <= 0 means 4.
+	// Workers bounds concurrent Exec calls. <= 0 means 4. Ignored when
+	// ExecAsync is set (MaxInFlight is the concurrency bound then).
 	Workers int
+	// ExecAsync, when set, replaces the blocking Exec worker pool with a
+	// single non-blocking dispatcher: jobs are started through this
+	// callback and complete through its done function, so thousands can
+	// be in flight without a goroutine parked per job.
+	ExecAsync ExecAsync
+	// MaxInFlight bounds concurrently started-but-unfinished ExecAsync
+	// jobs. <= 0 means 4096. Unused without ExecAsync.
+	MaxInFlight int
 	// QueueCap bounds jobs queued for dispatch across all users
 	// (coalesced subscribers ride their leader and do not count).
 	// Admission past the cap sheds. <= 0 means 1024.
@@ -133,6 +150,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheCap <= 0 {
 		o.CacheCap = 1 << 16
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4096
 	}
 	if o.MaxBatches <= 0 {
 		o.MaxBatches = 4096
@@ -195,6 +215,14 @@ type flight struct {
 
 type key struct{ src, dst ipv4.Addr }
 
+// cacheEntry is one day-cache record: the result and the user whose
+// measurement produced it, so revoking that user can purge exactly
+// their entries.
+type cacheEntry struct {
+	res  any
+	user string
+}
+
 // userQueue is one user's FIFO plus its deficit round-robin state.
 type userQueue struct {
 	name    string
@@ -217,11 +245,12 @@ type Scheduler struct {
 	ring     []*userQueue // users with pending jobs, round-robin order
 	ringIdx  int
 	queued   int
+	inflight int // started-but-unfinished ExecAsync jobs
 	flights  map[key]*flight
 	running  map[*Job]context.CancelFunc
 	revoked  map[string]bool
-	cache    map[key]any // day cache: successful results since last ResetDay
-	cacheSeq []key       // insertion order, for cap eviction
+	cache    map[key]cacheEntry // day cache: successful results since last ResetDay
+	cacheSeq []key              // insertion order, for cap eviction
 	batches  map[string]*Batch
 	batchSeq []string // insertion order, for retention
 	nextID   int
@@ -249,7 +278,7 @@ func New(exec Exec, opts Options) *Scheduler {
 		flights:     make(map[key]*flight),
 		running:     make(map[*Job]context.CancelFunc),
 		revoked:     make(map[string]bool),
-		cache:       make(map[key]any),
+		cache:       make(map[key]cacheEntry),
 		batches:     make(map[string]*Batch),
 		mQueueDepth: opts.Obs.Gauge("sched_queue_depth"),
 		mCoalesced:  opts.Obs.Counter("sched_coalesced_total"),
@@ -269,6 +298,11 @@ func (s *Scheduler) countState(st State) {
 	s.opts.Obs.Counter(obs.Label("sched_jobs_total", "state", st.String())).Inc()
 }
 
+// countExecPanic tallies one recovered Exec/ExecAsync panic.
+func (s *Scheduler) countExecPanic() {
+	s.opts.Obs.Counter("sched_exec_panics_total").Inc()
+}
+
 // Start launches the worker set. Workers stop when ctx is cancelled
 // (or Stop is called); in-flight Exec calls inherit ctx and are
 // cancelled with it. Start returns immediately; it is a no-op after
@@ -285,9 +319,14 @@ func (s *Scheduler) Start(ctx context.Context) {
 	s.started = true
 	s.drained = make(chan struct{})
 	s.mu.Unlock()
-	for i := 0; i < s.opts.Workers; i++ {
+	if s.opts.ExecAsync != nil {
 		s.wg.Add(1)
-		go s.worker(ctx)
+		go s.dispatcher(ctx)
+	} else {
+		for i := 0; i < s.opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker(ctx)
+		}
 	}
 	go func() {
 		s.wg.Wait()
@@ -362,11 +401,11 @@ func (s *Scheduler) Submit(ctx context.Context, user string, specs []JobSpec) (B
 		j := &Job{batch: b, idx: i, user: user, src: spec.Src, dst: spec.Dst, admitted: now}
 		b.jobs = append(b.jobs, j)
 		k := key{spec.Src, spec.Dst}
-		if res, ok := s.cache[k]; ok {
+		if e, ok := s.cache[k]; ok {
 			// Day-cache hit: resolved immediately, zero probes.
 			j.state = StateCoalesced
 			j.coalesced = true
-			j.result = res
+			j.result = e.res
 			s.mCacheHits.Inc()
 			s.mCoalesced.Inc()
 			s.countState(StateCoalesced)
@@ -506,11 +545,71 @@ func (s *Scheduler) worker(ctx context.Context) {
 func (s *Scheduler) safeExec(ctx context.Context, j *Job) (res any, err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			s.opts.Obs.Counter("sched_exec_panics_total").Inc()
+			s.countExecPanic()
 			res, err = nil, fmt.Errorf("sched: exec panic: %v", v)
 		}
 	}()
 	return s.exec(ctx, j.user, j.src, j.dst)
+}
+
+// dispatcher is the ExecAsync dispatch loop: one goroutine starts
+// every job, bounded by MaxInFlight unfinished starts, and each job's
+// completion callback signals it to start the next. On stop it waits
+// for in-flight jobs to complete before exiting (mirroring the worker
+// pool's "finish your current job" semantics), so Drain still means
+// "no job is running".
+func (s *Scheduler) dispatcher(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.stopped && s.inflight >= s.opts.MaxInFlight {
+			s.dispatch.Wait()
+		}
+		var j *Job
+		if !s.stopped {
+			j = s.nextLocked()
+		}
+		if j == nil { // stopped
+			for s.inflight > 0 {
+				s.dispatch.Wait()
+			}
+			s.mu.Unlock()
+			return
+		}
+		j.state = StateRunning
+		s.countState(StateRunning)
+		s.mDispatch.Observe(time.Since(j.admitted).Microseconds()) //revtr:wallclock dispatch-latency histogram measures real queueing delay
+		jctx, cancel := context.WithCancel(ctx)
+		s.running[j] = cancel
+		s.inflight++
+		s.mu.Unlock()
+
+		s.execAsyncSafe(jctx, cancel, j)
+	}
+}
+
+// execAsyncSafe starts one job through the ExecAsync callback with a
+// single-shot completion function, converting a synchronous panic into
+// a failed job instead of killing the dispatcher.
+func (s *Scheduler) execAsyncSafe(ctx context.Context, cancel context.CancelFunc, j *Job) {
+	var once sync.Once
+	done := func(res any, err error) {
+		once.Do(func() {
+			cancel()
+			s.complete(j, res, err)
+			s.mu.Lock()
+			s.inflight--
+			s.dispatch.Signal()
+			s.mu.Unlock()
+		})
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			s.countExecPanic()
+			done(nil, fmt.Errorf("sched: exec panic: %v", v))
+		}
+	}()
+	s.opts.ExecAsync(ctx, j.user, j.src, j.dst, done)
 }
 
 // nextLocked blocks until a job is dispatchable and picks it by
@@ -564,7 +663,7 @@ func (s *Scheduler) complete(j *Job, res any, err error) {
 		j.state = StateDone
 		j.result = res
 		s.countState(StateDone)
-		s.cachePutLocked(k, res)
+		s.cachePutLocked(k, res, j.user)
 	} else {
 		j.state = StateFailed
 		j.err = err
@@ -631,13 +730,14 @@ func (s *Scheduler) promoteLocked(k key, subs []*Job) (failNow []*Job) {
 	return failNow
 }
 
-// cachePutLocked records a successful result in the day cache,
-// evicting oldest-first past the cap. Callers hold s.mu.
-func (s *Scheduler) cachePutLocked(k key, res any) {
+// cachePutLocked records a successful result in the day cache under
+// the user that measured it, evicting oldest-first past the cap.
+// Callers hold s.mu.
+func (s *Scheduler) cachePutLocked(k key, res any, user string) {
 	if _, ok := s.cache[k]; !ok {
 		s.cacheSeq = append(s.cacheSeq, k)
 	}
-	s.cache[k] = res
+	s.cache[k] = cacheEntry{res: res, user: user}
 	for len(s.cache) > s.opts.CacheCap && len(s.cacheSeq) > 0 {
 		old := s.cacheSeq[0]
 		s.cacheSeq = s.cacheSeq[1:]
@@ -650,7 +750,7 @@ func (s *Scheduler) cachePutLocked(k key, res any) {
 func (s *Scheduler) ResetDay() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cache = make(map[key]any)
+	s.cache = make(map[key]cacheEntry)
 	s.cacheSeq = nil
 }
 
@@ -663,11 +763,32 @@ func (s *Scheduler) CacheLen() int {
 
 // Revoke cancels a user: queued jobs fail with ErrRevoked (leaders
 // with foreign subscribers hand leadership over instead of killing
-// them), running jobs are cancelled, and future submissions are
-// rejected. Idempotent.
+// them), running jobs are cancelled, the user's day-cache entries are
+// purged, and future submissions are rejected. Without the purge a
+// revoked user's results would keep resolving new submissions — their
+// own and coalescing strangers' — for free until ResetDay. Idempotent.
 func (s *Scheduler) Revoke(user string) {
 	s.mu.Lock()
 	s.revoked[user] = true
+	// Day cache: drop every entry this user's measurements produced and
+	// rebuild the eviction order over the survivors.
+	purged := 0
+	for k, e := range s.cache {
+		if e.user == user {
+			delete(s.cache, k)
+			purged++
+		}
+	}
+	if purged > 0 {
+		kept := s.cacheSeq[:0]
+		for _, k := range s.cacheSeq {
+			if _, ok := s.cache[k]; ok {
+				kept = append(kept, k)
+			}
+		}
+		s.cacheSeq = kept
+		s.opts.Obs.Counter("sched_cache_purged_total").Add(uint64(purged))
+	}
 	// Queued jobs: fail them and drop them from their FIFO.
 	if u := s.users[user]; u != nil && len(u.jobs) > 0 {
 		jobs := u.jobs

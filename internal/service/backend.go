@@ -69,6 +69,14 @@ func (b *DeploymentBackend) Measure(ctx context.Context, src core.Source, dst ip
 	return b.Engine.MeasureReverse(ctx, src, dst)
 }
 
+// MeasureAsync implements AsyncBackend: the engine's resumable state
+// machine runs the measurement without parking a goroutine across
+// spoofed-batch timeouts, and done receives the finished result (nil on
+// a backend panic, matching Measure's recover contract in the service).
+func (b *DeploymentBackend) MeasureAsync(ctx context.Context, src core.Source, dst ipv4.Addr, done func(*core.Result)) {
+	b.Engine.MeasureAsync(ctx, src, dst, done)
+}
+
 // RefreshAtlas implements Backend with the deployment's atlas service.
 func (b *DeploymentBackend) RefreshAtlas(src core.Source) {
 	b.mu.Lock()

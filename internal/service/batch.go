@@ -19,10 +19,25 @@ import (
 	"context"
 	"errors"
 
+	"revtr/internal/core"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/obs"
 	"revtr/internal/sched"
 )
+
+// AsyncBackend is the optional non-blocking measurement interface: a
+// backend that can start a measurement and deliver its result through a
+// callback without parking a goroutine for the duration
+// (core.Engine.MeasureAsync). When the registry's backend implements
+// it, EnableBatch dispatches batch jobs through the scheduler's
+// asynchronous path, so batch concurrency is bounded by
+// sched.Options.MaxInFlight suspended measurements instead of
+// Options.Workers goroutines. done receives nil when the backend
+// panicked mid-measurement (mirroring Backend.Measure's recover
+// contract in safeMeasure).
+type AsyncBackend interface {
+	MeasureAsync(ctx context.Context, src core.Source, dst ipv4.Addr, done func(*core.Result))
+}
 
 var (
 	// ErrBatchDisabled rejects batch calls on a registry without an
@@ -43,6 +58,9 @@ func (r *Registry) EnableBatch(ctx context.Context, opts sched.Options) *sched.S
 	}
 	opts.Obs = r.obs
 	opts.TryCharge = r.tryCharge
+	if _, ok := r.backend.(AsyncBackend); ok && opts.ExecAsync == nil {
+		opts.ExecAsync = r.batchExecAsync
+	}
 	sc := sched.New(r.batchExec, opts)
 	r.mu.Lock()
 	if r.sched != nil {
@@ -72,7 +90,7 @@ func (r *Registry) batchExec(ctx context.Context, key string, src, dst ipv4.Addr
 		return nil, ErrUnknownSource
 	}
 	res := r.safeMeasure(ctx, reg, dst)
-	r.obs.Counter("service_batch_exec_total").Inc()
+	r.countBatchExec()
 	if res == nil {
 		return nil, sc.WrapRevoked(key, errors.New("service: backend panic"))
 	}
@@ -85,6 +103,57 @@ func (r *Registry) batchExec(ctx context.Context, key string, src, dst ipv4.Addr
 		return nil, err
 	}
 	return m, nil
+}
+
+// batchExecAsync is the scheduler's ExecAsync callback: start one
+// measurement through the AsyncBackend and finish it — archive, status
+// metrics, revocation wrapping — inside the completion callback, which
+// runs on a probe-pool executor goroutine. The source's atlas lock is
+// held shared across the measurement's entire (suspended) lifetime,
+// exactly as the blocking path holds it across safeMeasure, so
+// DailyMaintenance cannot swap atlas entries mid-measurement. Falls
+// back to the blocking batchExec when the backend is not asynchronous.
+func (r *Registry) batchExecAsync(ctx context.Context, key string, src, dst ipv4.Addr, done func(res any, err error)) {
+	r.mu.Lock()
+	reg, ok := r.sources[src]
+	sc := r.sched
+	r.mu.Unlock()
+	if !ok {
+		done(nil, ErrUnknownSource)
+		return
+	}
+	ab, isAsync := r.backend.(AsyncBackend)
+	if !isAsync {
+		res, err := r.batchExec(ctx, key, src, dst)
+		done(res, err)
+		return
+	}
+	reg.atlasMu.RLock()
+	ab.MeasureAsync(ctx, reg.src, dst, func(res *core.Result) {
+		reg.atlasMu.RUnlock()
+		r.countBatchExec()
+		if res == nil {
+			r.countBackendPanic()
+			done(nil, sc.WrapRevoked(key, errors.New("service: backend panic")))
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			done(nil, sc.WrapRevoked(key, err))
+			return
+		}
+		m := buildMeasurement(src, dst, res)
+		r.obs.Counter(obs.Label("service_measure_status_total", "status", m.Status)).Inc()
+		if err := r.archiveMeasurement(m); err != nil {
+			done(nil, err)
+			return
+		}
+		done(m, nil)
+	})
+}
+
+// countBatchExec tallies one finished batch measurement attempt.
+func (r *Registry) countBatchExec() {
+	r.obs.Counter("service_batch_exec_total").Inc()
 }
 
 // tryCharge is the scheduler's admission-quota callback: atomically

@@ -348,11 +348,17 @@ func (r *Registry) safeMeasure(ctx context.Context, reg *registeredSource, dst i
 	defer reg.atlasMu.RUnlock()
 	defer func() {
 		if v := recover(); v != nil {
-			r.obs.Counter("service_backend_panics_total").Inc()
+			r.countBackendPanic()
 			res = nil
 		}
 	}()
 	return r.backend.Measure(ctx, reg.src, dst)
+}
+
+// countBackendPanic tallies one recovered backend panic (blocking or
+// asynchronous measurement path).
+func (r *Registry) countBackendPanic() {
+	r.obs.Counter("service_backend_panics_total").Inc()
 }
 
 // Get retrieves a stored measurement by ID. Records evicted by the
