@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test short vet lint race ci bench chaos fuzz soak
+.PHONY: build test short vet lint race ci bench chaos fuzz soak cover
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,16 @@ lint:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-ci: vet lint race bench chaos soak
+ci: vet lint race bench chaos soak cover
+
+# cover enforces a coverage floor on the segment store: it is shared
+# mutable state spliced into other measurements' results, so its
+# eviction, expiry, and chain-walk edge cases must all stay exercised.
+cover:
+	$(GO) test -coverprofile=/tmp/segments.cover ./internal/core/segments/
+	@$(GO) tool cover -func=/tmp/segments.cover | awk '/^total:/ { \
+		pct = $$3 + 0; printf "internal/core/segments coverage: %s (floor 90%%)\n", $$3; \
+		if (pct < 90) { print "coverage below floor"; exit 1 } }'
 
 # chaos runs the fault-injection suites under -race: engine and campaign
 # measured over lossy links, rate-limited routers, flapping routes, and
@@ -58,6 +67,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) ./internal/netsim/faults/
 	$(GO) test -fuzz FuzzSpecCodec -fuzztime $(FUZZTIME) ./internal/measure/
+	$(GO) test -fuzz FuzzSegmentStore -fuzztime $(FUZZTIME) ./internal/core/segments/
 
 # bench in CI runs every benchmark once (-benchtime 1x): a smoke test
 # that the benchmarks still compile and run, not a performance gate. It
@@ -67,4 +77,5 @@ fuzz:
 # when it moves materially.
 bench:
 	BENCH_ENGINE_JSON=$(CURDIR)/BENCH_engine.json $(GO) test -run TestWriteEngineBenchJSON -count=1 ./internal/core/
+	BENCH_SEGMENTS_JSON=$(CURDIR)/BENCH_segments.json $(GO) test -run TestWriteSegmentsBenchJSON -count=1 ./internal/core/
 	$(GO) test -bench . -benchtime 1x -benchmem ./...

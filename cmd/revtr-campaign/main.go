@@ -20,6 +20,7 @@ import (
 	"revtr"
 	"revtr/internal/campaign"
 	"revtr/internal/core"
+	"revtr/internal/core/segments"
 	"revtr/internal/ip2as"
 	"revtr/internal/netsim/faults"
 	"revtr/internal/netsim/ipv4"
@@ -48,6 +49,8 @@ func main() {
 		faultSeed    = flag.Uint64("fault-seed", 0, "fault plan seed (overrides -faults; 0 = keep)")
 		retries      = flag.Int("probe-retries", 0, "re-issue unanswered probes up to this many times (virtual-time backoff)")
 		retryBackoff = flag.Duration("probe-retry-backoff", 0, "delay before the first probe retry, doubling per retry (0 = default 50ms)")
+		segmentTTL   = flag.Duration("segment-ttl", 0, "memoize reverse-path segments across measurements for this long in virtual time (0 = off)")
+		segmentMax   = flag.Int("segment-max", 0, "max memoized segments when -segment-ttl is set (0 = default 262144)")
 	)
 	flag.Parse()
 
@@ -124,9 +127,23 @@ func main() {
 	)
 	obsReg := obs.New()
 	plan.SetObs(obsReg)
+	campaignOpts := core.Revtr20Options()
+	if *segmentTTL > 0 {
+		st := segments.New(segments.Options{
+			TTLUS:      segmentTTL.Microseconds(),
+			MaxEntries: *segmentMax,
+		})
+		st.SetObs(obsReg)
+		campaignOpts.SegmentStore = st
+		eff := *segmentMax
+		if eff <= 0 {
+			eff = segments.DefaultMaxEntries
+		}
+		log.Printf("segment memoization: ttl %s, max %d segments", *segmentTTL, eff)
+	}
 	start := time.Now() //revtr:wallclock operator-facing throughput log, not simulation time
 	r := &campaign.Runner{
-		D: d, Sources: srcs, Opts: core.Revtr20Options(), Workers: *workers,
+		D: d, Sources: srcs, Opts: campaignOpts, Workers: *workers,
 		ProbeWorkers:  *pworker,
 		Obs:           obsReg,
 		ProgressEvery: *every,

@@ -36,6 +36,7 @@ import (
 
 	"revtr"
 	"revtr/internal/core"
+	"revtr/internal/core/segments"
 	"revtr/internal/netsim/faults"
 	"revtr/internal/probe"
 	"revtr/internal/sched"
@@ -88,6 +89,8 @@ func main() {
 		faultFlap     = flag.Float64("fault-flap", 0, "fraction of links mid route-flap per period (overrides -faults)")
 		faultVPOut    = flag.Int("fault-vp-outages", 0, "blackout this many spoof-capable vantage point sites from t=0")
 		faultSeed     = flag.Uint64("fault-seed", 0, "fault plan seed (overrides -faults; 0 = keep)")
+		segmentTTL    = flag.Duration("segment-ttl", 0, "memoize reverse-path segments across measurements for this long in virtual time (0 = off)")
+		segmentMax    = flag.Int("segment-max", 0, "max memoized segments when -segment-ttl is set (0 = default 262144)")
 		retries       = flag.Int("probe-retries", 0, "re-issue unanswered probes up to this many times (virtual-time backoff)")
 		retryBackoff  = flag.Duration("probe-retry-backoff", 0, "delay before the first probe retry, doubling per retry (0 = default 50ms)")
 		storeDir      = flag.String("store-dir", "", "durable measurement store directory (empty = memory-only; measurements vanish on restart)")
@@ -140,7 +143,21 @@ func main() {
 		d.Pool.SetRetry(probe.RetryPolicy{Max: *retries, BackoffUS: retryBackoff.Microseconds()})
 	}
 
-	backend := service.NewDeploymentBackend(d)
+	engineOpts := core.Revtr20Options()
+	var segStore *segments.Store
+	if *segmentTTL > 0 {
+		segStore = segments.New(segments.Options{
+			TTLUS:      segmentTTL.Microseconds(),
+			MaxEntries: *segmentMax,
+		})
+		engineOpts.SegmentStore = segStore
+		eff := *segmentMax
+		if eff <= 0 {
+			eff = segments.DefaultMaxEntries
+		}
+		log.Printf("segment memoization: ttl %s, max %d segments", *segmentTTL, eff)
+	}
+	backend := service.NewDeploymentBackendOptions(d, engineOpts)
 	var reg *service.Registry
 	if *storeDir != "" {
 		archive, err := store.Open(*storeDir, store.Options{
@@ -163,6 +180,7 @@ func main() {
 	// Engine metrics land in the same registry the service renders on
 	// GET /metrics, so per-stage engine accounting is live from request 1.
 	backend.Engine.SetMetrics(core.NewMetrics(reg.Obs()))
+	segStore.SetObs(reg.Obs())
 	// Pool metrics (in-flight probes, batch sizes/latencies) land next to
 	// the engine's on GET /metrics, as do fault-injection tallies.
 	d.Pool.SetObs(reg.Obs())

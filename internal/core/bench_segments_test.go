@@ -1,0 +1,173 @@
+package core_test
+
+// Segment-memoization benchmark (Doubletree stop sets): a zipf-skewed
+// workload over shared destinations, measured twice — segments off and
+// segments on — over the same churn-free fabric. The claims under test:
+// memoization saves a substantial share of the probe budget (the whole
+// point of stop sets), and under zero churn it adds exactly zero wrong
+// paths over the baseline. TestSegmentsProbeSavings asserts both on
+// every `go test` run; TestWriteSegmentsBenchJSON additionally
+// regenerates BENCH_segments.json when BENCH_SEGMENTS_JSON names the
+// output path (`make bench` sets it), like BENCH_engine.json.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"revtr/internal/core"
+	"revtr/internal/core/segments"
+	"revtr/internal/netsim/ipv4"
+	"revtr/internal/obs"
+	"revtr/internal/probe"
+	"revtr/internal/simtest"
+)
+
+// wrongPath reports whether a completed result's hops leave the
+// ground-truth reverse path (the forward router path from the
+// destination back to the source). Private hops, host addresses, and
+// the endpoints carry no router-level claim and are skipped.
+func wrongPath(env *simtest.Env, srcAddr ipv4.Addr, res *core.Result) bool {
+	if res.Status != core.StatusComplete {
+		return false
+	}
+	host, ok := env.Topo.HostOf(res.Dst)
+	if !ok {
+		return false
+	}
+	truth := env.Fabric.ForwardRouterPath(host.Router, srcAddr, res.Dst, 0)
+	if truth == nil {
+		return false
+	}
+	onPath := map[ipv4.Addr]bool{srcAddr: true}
+	for _, r := range truth {
+		for _, a := range env.Topo.Aliases(r) {
+			onPath[a] = true
+		}
+	}
+	for _, h := range res.Hops {
+		if h.Addr.IsPrivate() {
+			continue
+		}
+		if _, isHost := env.Topo.HostOf(h.Addr); isHost {
+			continue
+		}
+		if !onPath[h.Addr] {
+			return true
+		}
+	}
+	return false
+}
+
+// zipfWorkload spreads repetition zipf-ishly over the destinations:
+// destination i is measured every i+1 rounds, so the head of the list
+// dominates — the regime where shared reverse suffixes recur and stop
+// sets pay. Deterministic: no RNG, same workload every run.
+func zipfWorkload(dsts []ipv4.Addr, rounds int) []ipv4.Addr {
+	var out []ipv4.Addr
+	for r := 0; r < rounds; r++ {
+		for i, d := range dsts {
+			if r%(i+1) == 0 {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+type segmentsBench struct {
+	Bench        string  `json:"bench"`
+	Topology     string  `json:"topology"`
+	Measurements int     `json:"measurements"`
+	ProbesOff    uint64  `json:"probes_off"`
+	ProbesOn     uint64  `json:"probes_on"`
+	SavedFrac    float64 `json:"probe_budget_saved_frac"`
+	Hits         uint64  `json:"segment_hits"`
+	Splices      uint64  `json:"segment_splices"`
+	SpliceRate   float64 `json:"splice_rate"`
+	WrongOff     int     `json:"wrong_paths_off"`
+	WrongOn      int     `json:"wrong_paths_on"`
+	WrongDelta   int     `json:"wrong_path_delta"`
+	StoreLen     int     `json:"store_segments"`
+}
+
+// runSegmentsBench measures the zipf workload through a segments-off
+// and a segments-on engine over the same fault-free environment.
+func runSegmentsBench(t testing.TB) segmentsBench {
+	t.Helper()
+	c := newChaosEnv(t, 8, 16)
+	o := core.Revtr20Options()
+	o.UseCache = false // isolate memoization from the per-pair day cache
+
+	workload := zipfWorkload(c.dsts, 30)
+	b := segmentsBench{
+		Bench:        "segments",
+		Topology:     "simtest 300 ASes seed 8, revtr 2.0 options, cache off, zipf workload",
+		Measurements: len(workload),
+	}
+
+	offEng, _ := c.engineOpts(1, probe.RetryPolicy{}, o)
+	for _, dst := range workload {
+		res := offEng.MeasureReverse(context.Background(), c.src, dst)
+		b.ProbesOff += res.Probes.Total()
+		if wrongPath(c.env, c.src.Agent.Addr, res) {
+			b.WrongOff++
+		}
+	}
+
+	on := o
+	on.SegmentStore = segments.New(segments.Options{TTLUS: 1 << 60})
+	onEng, _ := c.engineOpts(1, probe.RetryPolicy{}, on)
+	reg := obs.New()
+	onEng.SetMetrics(core.NewMetrics(reg))
+	on.SegmentStore.SetObs(reg)
+	for _, dst := range workload {
+		res := onEng.MeasureReverse(context.Background(), c.src, dst)
+		b.ProbesOn += res.Probes.Total()
+		if wrongPath(c.env, c.src.Agent.Addr, res) {
+			b.WrongOn++
+		}
+	}
+
+	b.Hits = reg.Counter("engine_segment_hits_total").Value()
+	b.Splices = reg.Counter("engine_segment_splices_total").Value()
+	b.SpliceRate = float64(b.Splices) / float64(max(1, b.Measurements))
+	b.WrongDelta = b.WrongOn - b.WrongOff
+	b.StoreLen = on.SegmentStore.Len()
+	if b.ProbesOff > 0 {
+		b.SavedFrac = 1 - float64(b.ProbesOn)/float64(b.ProbesOff)
+	}
+	t.Logf("segments bench: %d measurements, probes %d -> %d (%.1f%% saved), %d hits, %d splices, wrong %d -> %d",
+		b.Measurements, b.ProbesOff, b.ProbesOn, 100*b.SavedFrac, b.Hits, b.Splices, b.WrongOff, b.WrongOn)
+	return b
+}
+
+func TestSegmentsProbeSavings(t *testing.T) {
+	b := runSegmentsBench(t)
+	if b.Splices == 0 {
+		t.Fatal("no measurement spliced a memoized segment")
+	}
+	if b.SavedFrac < 0.30 {
+		t.Fatalf("memoization saved only %.1f%% of the probe budget, want >= 30%%", 100*b.SavedFrac)
+	}
+	if b.WrongDelta != 0 {
+		t.Fatalf("memoization changed the wrong-path count under zero churn: off %d, on %d",
+			b.WrongOff, b.WrongOn)
+	}
+}
+
+func TestWriteSegmentsBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SEGMENTS_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SEGMENTS_JSON=<path> to write the segments benchmark corpus")
+	}
+	b := runSegmentsBench(t)
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

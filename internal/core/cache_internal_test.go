@@ -87,6 +87,53 @@ func TestCacheSizeCap(t *testing.T) {
 	}
 }
 
+// TestCacheEvictOldestDeterministic pins the under-pressure sweep's
+// selection order directly: strictly oldest first across both maps,
+// age ties broken rr before tr, and within a map by smallest key — so
+// eviction is identical on every run despite Go's randomized map
+// iteration.
+func TestCacheEvictOldestDeterministic(t *testing.T) {
+	c := newCache(1<<60, 1<<20) // nothing expires, cap never triggers
+	src := addr(t, "10.0.0.1")
+	a, b, d := addr(t, "10.4.0.1"), addr(t, "10.4.0.2"), addr(t, "10.4.0.3")
+
+	c.putRR(b, src, nil, TechRR, 1)
+	c.putRR(a, src, nil, TechRR, 1)
+	c.putTraceroute(a, src, measure.TracerouteResult{}, 1)
+	c.putTraceroute(d, src, measure.TracerouteResult{}, 0) // strictly oldest
+
+	hasRR := func(k ipv4.Addr) bool { _, ok := c.rr[cacheKey{k, src}]; return ok }
+	hasTR := func(k ipv4.Addr) bool { _, ok := c.tr[cacheKey{k, src}]; return ok }
+
+	// 1: the strictly oldest entry goes first even though it is a tr.
+	c.evictOldest()
+	if hasTR(d) {
+		t.Fatal("strictly oldest tr entry survived the first eviction")
+	}
+	// 2: among the three age-1 entries, rr wins the tie over tr, and the
+	// smallest rr key goes first.
+	c.evictOldest()
+	if hasRR(a) || !hasRR(b) || !hasTR(a) {
+		t.Fatalf("second eviction: want rr[a] evicted, have rr[a]=%v rr[b]=%v tr[a]=%v",
+			hasRR(a), hasRR(b), hasTR(a))
+	}
+	// 3: the remaining rr entry still precedes the tied tr entry.
+	c.evictOldest()
+	if hasRR(b) || !hasTR(a) {
+		t.Fatalf("third eviction: want rr[b] evicted before tr[a], have rr[b]=%v tr[a]=%v",
+			hasRR(b), hasTR(a))
+	}
+	// 4: the tr entry last; the cache is then empty and a further call
+	// must be a no-op.
+	c.evictOldest()
+	if c.size() != 0 {
+		t.Fatalf("size = %d after evicting everything, want 0", c.size())
+	}
+	if got := c.evictOldest(); got != 0 {
+		t.Fatalf("evictOldest on empty cache returned %d, want 0", got)
+	}
+}
+
 // TestEngineCacheBounded drives the cap through the engine-facing option.
 func TestEngineCacheBounded(t *testing.T) {
 	opts := Revtr20Options()

@@ -14,9 +14,11 @@ import (
 
 	"revtr/internal/atlas"
 	"revtr/internal/core"
+	"revtr/internal/core/segments"
 	"revtr/internal/ingress"
 	"revtr/internal/ip2as"
 	"revtr/internal/measure"
+	"revtr/internal/netsim/dynamics"
 	"revtr/internal/netsim/faults"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/obs"
@@ -264,4 +266,150 @@ func TestChaosVPFailoverDegrades(t *testing.T) {
 	}
 	t.Logf("vp failovers: %d over %d spoofed batches, %d dead-VP cache skips",
 		failovers, spoofBatches, deadHits)
+}
+
+// splicedWrong classifies a result's memoized suffix against *current*
+// ground truth: did the measurement splice at all, and if so, does any
+// spliced hop lie off every present forward router path from the splice
+// anchor back to the source? A few ECMP flows are unioned so per-flow
+// load balancing is not mistaken for staleness; private hops, host
+// addresses, and unresolvable hops carry no router-level claim.
+func splicedWrong(env *simtest.Env, srcAddr ipv4.Addr, res *core.Result) (spliced, wrong bool) {
+	first := -1
+	for i, h := range res.Hops {
+		if h.Spliced {
+			first = i
+			break
+		}
+	}
+	if first <= 0 {
+		return false, false
+	}
+	start := res.Hops[first-1].Addr
+	r, ok := env.Topo.RouterOf(start)
+	if !ok {
+		// Splices anchored at the destination itself start from a host
+		// address; the claim is then about the path from its gateway.
+		host, hok := env.Topo.HostOf(start)
+		if !hok {
+			return true, false
+		}
+		r = host.Router
+	}
+	onPath := map[ipv4.Addr]bool{srcAddr: true}
+	for flow := uint64(0); flow < 4; flow++ {
+		for _, tr := range env.Fabric.ForwardRouterPath(r, srcAddr, start, flow) {
+			for _, a := range env.Topo.Aliases(tr) {
+				onPath[a] = true
+			}
+		}
+	}
+	for _, h := range res.Hops[first:] {
+		if h.Addr.IsPrivate() {
+			continue
+		}
+		if _, isHost := env.Topo.HostOf(h.Addr); isHost {
+			continue
+		}
+		if !onPath[h.Addr] {
+			return true, true
+		}
+	}
+	return true, false
+}
+
+// TestChaosSegmentStormRecovery: a route-flap storm against a shared
+// segment store. During the storm, stale memoized suffixes get spliced
+// into wrong paths — that is the staleness window the TTL bounds. The
+// engine has an intrinsic wrong-path baseline even on fresh splices
+// (symmetry-assumed hops ride inside memoized chains), so every
+// assertion is against that measured baseline, not zero:
+//
+//  1. the storm pushes wrong splices strictly above the baseline;
+//  2. once flaps stop, wrong splices never grow round over round while
+//     the stale segments live (splicing never refreshes a TTL, and
+//     completed paths republish only their freshly measured prefix);
+//  3. once a full TTL has elapsed since the last flap, every surviving
+//     stale segment has been evicted and re-measured, so wrong splices
+//     recover to at most the baseline — while splicing itself keeps
+//     working.
+func TestChaosSegmentStormRecovery(t *testing.T) {
+	c := newChaosEnv(t, 3, 24)
+	churn := dynamics.New(c.env.Fabric, 42)
+	c.env.Fabric.InvalidateRoutes()
+	// The atlas was built before the churn policy was installed; drop it
+	// so segment memoization is the only cross-measurement path state.
+	src := core.Source{Agent: c.src.Agent}
+
+	const ttl = int64(1) << 40
+	o := core.Revtr20Options()
+	o.UseCache = false
+	o.SegmentStore = segments.New(segments.Options{TTLUS: ttl})
+	eng, pool := c.engineOpts(1, probe.RetryPolicy{}, o)
+
+	round := func() (spliced, wrong int) {
+		for _, dst := range c.dsts {
+			res := eng.MeasureReverse(context.Background(), src, dst)
+			s, w := splicedWrong(c.env, src.Agent.Addr, res)
+			if s {
+				spliced++
+			}
+			if w {
+				wrong++
+			}
+		}
+		return
+	}
+
+	// Warm the store, then observe the fresh-segment baseline.
+	round()
+	splicedWarm, baseline := round()
+	if splicedWarm == 0 {
+		t.Fatal("no measurement spliced during the warm rounds")
+	}
+	t.Logf("fresh-splice baseline: %d wrong of %d measurements (%d spliced)",
+		baseline, len(c.dsts), splicedWarm)
+
+	// Storm: five flap epochs, measuring between them. Stale splices
+	// must push the wrong-path count above the fresh baseline.
+	peak := 0
+	for i := 0; i < 5; i++ {
+		churn.Step(1.0, 60)
+		_, w := round()
+		if w > peak {
+			peak = w
+		}
+	}
+	t.Logf("storm peak: %d wrong-spliced measurements of %d", peak, len(c.dsts))
+	if peak <= baseline {
+		t.Fatalf("storm never pushed wrong splices (peak %d) above the fresh baseline (%d): staleness undetected",
+			peak, baseline)
+	}
+
+	// Flaps stop. The set of stale segments is now fixed, so while they
+	// live, wrong splices must not grow; as virtual time crosses the TTL
+	// (one third per round), they expire and are re-measured against
+	// current routes, recovering the baseline. Rounds 2+ start beyond
+	// the full TTL window.
+	quiet := make([]int, 6)
+	splicedLast := 0
+	for i := range quiet {
+		pool.Clock().Advance(ttl/3 + 1)
+		splicedLast, quiet[i] = round()
+	}
+	t.Logf("quiet rounds wrong-spliced: %v", quiet)
+	for i := 1; i < len(quiet); i++ {
+		if quiet[i] > peak {
+			t.Fatalf("wrong splices grew past the storm peak %d after flaps stopped: %v", peak, quiet)
+		}
+	}
+	for i := 2; i < len(quiet); i++ {
+		if quiet[i] > baseline {
+			t.Fatalf("quiet round %d (a full TTL after the last flap) still has %d wrong splices, baseline %d: %v",
+				i, quiet[i], baseline, quiet)
+		}
+	}
+	if splicedLast == 0 {
+		t.Fatal("no splices after TTL expiry: memoization never recovered")
+	}
 }

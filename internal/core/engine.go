@@ -32,6 +32,22 @@ type Hop struct {
 	// a different next hop — a destination-based-routing violator
 	// (Appendix E's optional detection).
 	DBRSuspect bool
+	// Spliced marks a hop adopted from the shared segment store
+	// (Options.SegmentStore) rather than measured by this reverse
+	// traceroute: Tech records the technique of the measurement that
+	// originally revealed it. SegmentSpliced provenance, Doubletree-style.
+	Spliced bool
+}
+
+// SegmentSpliced reports whether any hop of the result was adopted from
+// the shared segment store rather than measured directly.
+func (r *Result) SegmentSpliced() bool {
+	for _, h := range r.Hops {
+		if h.Spliced {
+			return true
+		}
+	}
+	return false
 }
 
 // Result is a completed (or abandoned) reverse traceroute.

@@ -34,6 +34,7 @@ import (
 	"slices"
 	"time"
 
+	"revtr/internal/core/segments"
 	"revtr/internal/ip2as"
 	"revtr/internal/measure"
 	"revtr/internal/netsim/ipv4"
@@ -158,6 +159,11 @@ type Machine struct {
 	spoof spoofState
 	dbr   dbrState
 	ts    tsState
+
+	// segs accumulates the path's segments at adoption granularity —
+	// one entry per (stitching cursor, adopted hop group) — for
+	// publication to Options.SegmentStore on successful completion.
+	segs []segments.PathSeg
 }
 
 // Begin opens a measurement of the reverse path from dst back to src as
@@ -311,6 +317,7 @@ func (mm *Machine) Clone() *Machine {
 	cp.dbr.observed = maps.Clone(mm.dbr.observed)
 	cp.dbr.fallback = slices.Clone(mm.dbr.fallback)
 	cp.ts.adjs = slices.Clone(mm.ts.adjs)
+	cp.segs = slices.Clone(mm.segs) // hop groups are built once and never mutated
 	if mm.pending != nil {
 		p := *mm.pending
 		p.Reqs = slices.Clone(mm.pending.Reqs)
@@ -341,6 +348,21 @@ func (mm *Machine) isDead(a ipv4.Addr) bool {
 func (mm *Machine) markDead(a ipv4.Addr) {
 	mm.m.markDead(a)
 	mm.e.deadVPs.markDead(a, mm.e.Pool.Now())
+}
+
+// spliceable reports whether a memoized chain can be adopted: none of
+// its hops may already be on this measurement's path. A revisit would
+// mean the stored suffix loops back through ground the measurement has
+// covered — the blocking-engine loop would have fallen through to the
+// next technique there, so splicing must conservatively miss to stay
+// path-identical with memoization off.
+func (mm *Machine) spliceable(chain []segments.Hop) bool {
+	for _, h := range chain {
+		if mm.visited[h.Addr] {
+			return false
+		}
+	}
+	return true
 }
 
 // firstLiveVP returns the first vantage point in the §4.3 ingress order
@@ -378,7 +400,47 @@ func (mm *Machine) finishMachine() {
 	mm.ph = phDone
 	mm.res.Probes = mm.m.count
 	mm.e.flagSuspects(mm.res)
+	mm.publishSegments()
 	mm.e.metrics.outcome(mm.res, time.Since(mm.wallStart).Microseconds(), mm.e.cache.size()) //revtr:wallclock engine wall-time metric, distinct from virtual probe time
+}
+
+// recordSeg captures the hops just appended to the result
+// (res.Hops[mark:]) as one path segment anchored at the stitching
+// cursor that adopted them. Segments are collected per adoption — not
+// reconstructed from the flat hop list afterwards — because only the
+// machine knows which hops it stood on: those cursors are the sole
+// positions another measurement can later splice from and reproduce
+// this path's addresses exactly.
+func (mm *Machine) recordSeg(anchor ipv4.Addr, mark int) {
+	if mm.e.Opts.SegmentStore == nil {
+		return
+	}
+	hops := mm.res.Hops[mark:]
+	if len(hops) == 0 {
+		return
+	}
+	g := make([]segments.Hop, len(hops))
+	for i, h := range hops {
+		g[i] = segments.Hop{Addr: h.Addr, Tech: uint8(h.Tech)}
+	}
+	mm.segs = append(mm.segs, segments.PathSeg{Anchor: anchor, Hops: g})
+}
+
+// publishSegments feeds a completed path's freshly measured segments
+// back into the shared segment store. A path that ended by splicing a
+// stored suffix publishes only its fresh prefix (the splice branch
+// records a linkage-only terminator, never the spliced hops):
+// republishing a spliced suffix would refresh the TTL of segments this
+// measurement never verified, letting a stale segment survive churn
+// indefinitely. Aborted, failed, and cancelled measurements publish
+// nothing — their hop lists do not reach the source, so their final
+// segment is unconfirmed.
+func (mm *Machine) publishSegments() {
+	st := mm.e.Opts.SegmentStore
+	if st == nil || mm.res.Status != StatusComplete || mm.res.Cancelled {
+		return
+	}
+	st.Publish(mm.res.Src, mm.segs, mm.e.Pool.Now())
 }
 
 // finishWith terminates with a status.
@@ -408,7 +470,9 @@ func (mm *Machine) stepTop() {
 		return
 	}
 	if e.reachedSource(cur, src) {
+		mark := len(mm.res.Hops)
 		e.finish(mm.res, src)
+		mm.recordSeg(cur, mark)
 		mm.finishMachine()
 		return
 	}
@@ -420,12 +484,46 @@ func (mm *Machine) stepTop() {
 		e.debug(src, cur, "atlas", "intersected atlas traceroute",
 			"entry", x.Entry.ID, "pos", x.Pos, "suffix", len(x.Suffix))
 		mm.res.AtlasUses = append(mm.res.AtlasUses, AtlasUse{Entry: x.Entry, Pos: x.Pos})
+		mark := len(mm.res.Hops)
 		for _, h := range x.Suffix {
 			mm.res.Hops = append(mm.res.Hops, Hop{Addr: h, Tech: TechTrIntersect})
 		}
 		e.finish(mm.res, src)
+		mm.recordSeg(cur, mark)
 		mm.finishMachine()
 		return
+	}
+
+	// Step 1b: Doubletree memoization — a prior measurement already
+	// revealed the reverse path from cur back to S. Splice the stored
+	// suffix instead of re-probing it, marking the hops Spliced. Like
+	// the dead-VP cache, the shared store is deterministic under serial
+	// issuance and advisory under concurrent issuance (it changes probe
+	// budgets, never the freshness of what is spliced).
+	if st := e.Opts.SegmentStore; st != nil {
+		if chain, ok := st.Lookup(src.Agent.Addr, cur, e.Pool.Now()); ok {
+			e.metrics.segmentHit()
+			if mm.spliceable(chain) {
+				e.metrics.segmentSplice()
+				e.debug(src, cur, "segments", "spliced memoized reverse suffix",
+					"hops", len(chain))
+				for _, h := range chain {
+					mm.visited[h.Addr] = true
+					mm.res.Hops = append(mm.res.Hops, Hop{
+						Addr: h.Addr, Tech: Technique(h.Tech), Spliced: true,
+					})
+				}
+				// Linkage-only terminator: the fresh prefix's last segment
+				// must point at this anchor (where the stored chain takes
+				// over), not claim to reach the source itself. The spliced
+				// hops are deliberately not recorded — see publishSegments.
+				mm.segs = append(mm.segs, segments.PathSeg{Anchor: cur})
+				e.finish(mm.res, src)
+				mm.finishMachine()
+				return
+			}
+			e.debug(src, cur, "segments", "hit rejected: chain revisits a hop")
+		}
 	}
 
 	// Step 2: Record Route, direct first (Fig 1b).
@@ -660,9 +758,11 @@ func (mm *Machine) finishDBR() {
 // adoptRevealed appends the RR-revealed hops to the result and decides
 // where the loop continues.
 func (mm *Machine) adoptRevealed(dbrSuspect bool) {
+	mark := len(mm.res.Hops)
 	for i, h := range mm.rev.hops {
 		mm.res.Hops = append(mm.res.Hops, Hop{Addr: h, Tech: mm.rev.tech, DBRSuspect: i == 0 && dbrSuspect})
 	}
+	mm.recordSeg(mm.cur, mark)
 	next := lastProbeable(mm.rev.hops)
 	if !next.IsZero() && !mm.visited[next] {
 		mm.visited[next] = true
@@ -765,7 +865,9 @@ func (mm *Machine) tsDone(next ipv4.Addr) {
 	if !next.IsZero() && !mm.visited[next] {
 		mm.e.metrics.stage(TechTS)
 		mm.visited[next] = true
+		mark := len(mm.res.Hops)
 		mm.res.Hops = append(mm.res.Hops, Hop{Addr: next, Tech: TechTS})
+		mm.recordSeg(mm.cur, mark)
 		mm.cur = next
 		mm.goTop()
 		return
@@ -864,7 +966,9 @@ func (mm *Machine) classifyTraceroute(tr measure.TracerouteResult, elapsed int64
 			mm.res.InterdomainAssumed++
 		}
 		e.metrics.symmetry(!intra)
+		mark := len(mm.res.Hops)
 		e.finish(mm.res, src)
+		mm.recordSeg(cur, mark)
 		mm.finishMachine()
 		return
 	}
@@ -897,7 +1001,9 @@ func (mm *Machine) classifyTraceroute(tr measure.TracerouteResult, elapsed int64
 		return
 	}
 	mm.visited[penult] = true
+	mark := len(mm.res.Hops)
 	mm.res.Hops = append(mm.res.Hops, Hop{Addr: penult, Tech: TechSymmetry})
+	mm.recordSeg(cur, mark)
 	mm.cur = penult
 	mm.goTop()
 }

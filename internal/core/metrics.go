@@ -42,6 +42,15 @@ type Metrics struct {
 	VPFailover *obs.Counter
 	DeadVPHits *obs.Counter
 
+	// Segment-store accounting (Doubletree memoization,
+	// Options.SegmentStore). SegmentHits counts lookups that returned a
+	// full fresh chain; SegmentSplices counts the hits actually spliced
+	// into a path (a hit is rejected when the chain would revisit a hop
+	// this measurement already adopted). The store itself counts
+	// engine_segment_stale_evictions_total via segments.Store.SetObs.
+	SegmentHits    *obs.Counter
+	SegmentSplices *obs.Counter
+
 	// Cache accounting (Insight 1.4 reuse).
 	CacheHitRR     *obs.Counter
 	CacheMissRR    *obs.Counter
@@ -75,6 +84,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		SpoofBatches: reg.Counter("engine_spoof_batches_total"),
 		VPFailover:   reg.Counter("vp_failover_total"),
 		DeadVPHits:   reg.Counter("engine_dead_vp_hits_total"),
+
+		SegmentHits:    reg.Counter("engine_segment_hits_total"),
+		SegmentSplices: reg.Counter("engine_segment_splices_total"),
 
 		CacheHitRR:     reg.Counter("engine_cache_rr_hits_total"),
 		CacheMissRR:    reg.Counter("engine_cache_rr_misses_total"),
@@ -153,6 +165,22 @@ func (m *Metrics) outcome(res *Result, wallUS int64, cacheEntries int) {
 	m.VirtualUS.Observe(res.DurationUS)
 	m.WallUS.Observe(wallUS)
 	m.CacheSize.Set(int64(cacheEntries))
+}
+
+// segmentHit records one full-chain segment-store hit.
+func (m *Metrics) segmentHit() {
+	if m == nil {
+		return
+	}
+	m.SegmentHits.Inc()
+}
+
+// segmentSplice records one memoized suffix spliced into a path.
+func (m *Metrics) segmentSplice() {
+	if m == nil {
+		return
+	}
+	m.SegmentSplices.Inc()
 }
 
 // cacheRR records an RR-cache lookup.

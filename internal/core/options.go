@@ -12,6 +12,7 @@
 package core
 
 import (
+	"revtr/internal/core/segments"
 	"revtr/internal/ingress"
 )
 
@@ -73,6 +74,16 @@ type Options struct {
 	// DefaultDeadVPTTLUS; negative disables the shared cache, reverting
 	// to strictly per-measurement dead-VP state.
 	DeadVPTTLUS int64
+	// SegmentStore, when non-nil, enables Doubletree-style
+	// cross-measurement memoization: before probing for the next reverse
+	// hop the engine consults the store and splices a memoized suffix
+	// (hops marked Spliced), and every completed measurement publishes
+	// its freshly revealed segments back. The store is shared: pass the
+	// same pointer to every engine of a process (campaign workers, the
+	// service backend) so measurements feed each other. nil (the
+	// default) disables memoization entirely — behavior is bit-identical
+	// to a build without the feature.
+	SegmentStore *segments.Store
 	// ExcludeAtlasFromDstAS ignores atlas traceroutes measured from
 	// probes in the destination's AS — the §5.2.1 evaluation rule that
 	// keeps the system from trivially "measuring" a path by reading the

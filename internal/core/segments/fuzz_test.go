@@ -1,0 +1,123 @@
+package segments
+
+import (
+	"testing"
+
+	"revtr/internal/netsim/ipv4"
+)
+
+// FuzzSegmentStore drives a small store with an adversarial op stream —
+// publishes of arbitrary segment sequences (cycles, repeated anchors,
+// private and zero anchors, linkage-only terminators, paths that never
+// reach the source), lookups, time jumps, and flushes — and checks the
+// store's invariants after every op: no panics, the size cap holds, and
+// a successful lookup always returns a fresh, anchor-acyclic chain that
+// terminates at the source.
+func FuzzSegmentStore(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x00})
+	f.Add([]byte{0x10, 0x21, 0x32, 0x43, 0x54, 0x65})
+	f.Add([]byte{0x80, 0x91, 0xa2, 0xff, 0x00, 0x13, 0x24})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			ttlUS = 100
+			maxN  = 32
+		)
+		s := New(Options{TTLUS: ttlUS, MaxEntries: maxN})
+		// A tiny address space forces collisions, cycles, and overwrites:
+		// 12 public addresses (16.0.0.x) plus 4 private ones (10.0.0.x);
+		// public addr 1 is the source.
+		mkAddr := func(b byte) ipv4.Addr {
+			if b%16 < 12 {
+				return ipv4.Addr(0x10000000 | uint32(b%16))
+			}
+			return ipv4.Addr(0x0a000000 | uint32(b%16))
+		}
+		src := mkAddr(1)
+		var nowUS int64
+		published := make(map[ipv4.Addr]int64) // anchor -> last publish time
+
+		i := 0
+		next := func() (byte, bool) {
+			if i >= len(data) {
+				return 0, false
+			}
+			b := data[i]
+			i++
+			return b, true
+		}
+		for {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			switch op % 4 {
+			case 0: // publish up to 6 segments of up to 3 hops each
+				n, _ := next()
+				segs := make([]PathSeg, 0, 6)
+				for j := 0; j < int(n%6)+1; j++ {
+					a, ok := next()
+					if !ok {
+						break
+					}
+					m, _ := next()
+					hops := make([]Hop, 0, 3)
+					for k := 0; k < int(m%4); k++ {
+						b, ok := next()
+						if !ok {
+							break
+						}
+						hops = append(hops, Hop{Addr: mkAddr(b), Tech: b >> 4})
+					}
+					segs = append(segs, PathSeg{Anchor: mkAddr(a), Hops: hops})
+				}
+				s.Publish(src, segs, nowUS)
+				for _, sg := range segs {
+					if len(sg.Hops) > 0 {
+						published[sg.Anchor] = nowUS
+					}
+				}
+			case 1: // lookup from an arbitrary hop
+				b, _ := next()
+				from := mkAddr(b)
+				chain, ok := s.Lookup(src, from, nowUS)
+				if !ok {
+					continue
+				}
+				if len(chain) == 0 || len(chain) > MaxChain {
+					t.Fatalf("chain length %d out of bounds", len(chain))
+				}
+				if chain[len(chain)-1].Addr != src {
+					t.Fatalf("chain does not terminate at src: %v", chain)
+				}
+				// Freshness: the entry segment's anchor was published within
+				// the TTL. (Publish times only grow, so the recorded
+				// last-publish time is an upper bound on the entry's age.)
+				at, ok := published[from]
+				if !ok {
+					t.Fatalf("chain served from anchor %v that was never published", from)
+				}
+				if nowUS-at > ttlUS {
+					t.Fatalf("lookup served a segment published %d us ago (ttl %d)", nowUS-at, ttlUS)
+				}
+			case 2: // advance virtual time
+				b, _ := next()
+				nowUS += int64(b)
+				if b%16 == 0 { // occasional jump far past the TTL
+					nowUS += 10 * ttlUS
+				}
+			case 3: // flush occasionally, otherwise probe accessors
+				b, _ := next()
+				if b%8 == 0 {
+					s.Flush()
+					published = make(map[ipv4.Addr]int64)
+				} else {
+					_ = s.Clone().Len()
+				}
+			}
+			if s.Len() > maxN {
+				t.Fatalf("size cap violated: %d > %d", s.Len(), maxN)
+			}
+		}
+	})
+}

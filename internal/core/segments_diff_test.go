@@ -1,0 +1,118 @@
+package core_test
+
+// Differential-correctness suite for Doubletree segment memoization
+// (internal/core/segments): with zero churn — a static fabric, no fault
+// plan — splicing memoized suffixes must change probe budgets only,
+// never paths. Two properties:
+//
+//  1. Path identity: segments-on and segments-off engines, driven over
+//     the same destination workload, produce identical reverse paths
+//     (hop addresses and status; techniques legitimately differ, since
+//     a spliced hop carries the technique of the measurement that first
+//     revealed it). Three topology seeds x revtr 1.0/2.0.
+//
+//  2. Suspend/resume bit-identity under memoization: at every pending
+//     boundary of a segments-on measurement, Clone mid-suspension and
+//     resume — the Result must be bit-identical to the straight-through
+//     segments-on run (the TestResumeBitIdentity property, now with the
+//     store in the loop). Each replay runs against a Clone of the store
+//     snapshot the reference run saw, since completed runs publish.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"revtr/internal/core"
+	"revtr/internal/core/segments"
+	"revtr/internal/obs"
+	"revtr/internal/probe"
+)
+
+// renderPath flattens a result to what memoization must preserve:
+// status and the hop address sequence (not techniques, not budgets).
+func renderPath(res *core.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v", res.Status)
+	for _, h := range res.Hops {
+		fmt.Fprintf(&sb, " %s", h.Addr)
+	}
+	return sb.String()
+}
+
+func TestSegmentsDifferentialPathIdentity(t *testing.T) {
+	configs := []struct {
+		name string
+		opts func() core.Options
+	}{
+		{"revtr20", core.Revtr20Options},
+		{"revtr10", core.Revtr10Options},
+	}
+	totalSplices := uint64(0)
+	for _, seed := range []int64{1, 4, 9} {
+		for _, cfg := range configs {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, cfg.name), func(t *testing.T) {
+				c := newChaosEnv(t, seed, 5) // no fault plan attached: churn-free
+				o := cfg.opts()
+				// Day cache off so segment memoization is the only
+				// cross-measurement state under test.
+				o.UseCache = false
+
+				// Reference: segments off.
+				offEng, _ := c.engineOpts(1, probe.RetryPolicy{}, o)
+				offPaths := make([]string, len(c.dsts))
+				for i, dst := range c.dsts {
+					offPaths[i] = renderPath(offEng.MeasureReverse(context.Background(), c.src, dst))
+				}
+
+				// Segments on: same workload, one shared store warming
+				// across measurements.
+				on := o
+				on.SegmentStore = segments.New(segments.Options{TTLUS: 1 << 60})
+				onEng, _ := c.engineOpts(1, probe.RetryPolicy{}, on)
+				reg := obs.New()
+				onEng.SetMetrics(core.NewMetrics(reg))
+
+				for i, dst := range c.dsts {
+					// Snapshot the store state this destination's runs see:
+					// the reference run publishes on completion, so replays
+					// must start from the pre-publication snapshot.
+					snap := on.SegmentStore.Clone()
+					ref, n := driveMachine(onEng, onEng.Begin(context.Background(), c.src, dst))
+					if got := renderPath(ref); got != offPaths[i] {
+						t.Fatalf("dst %s: memoized path diverged\noff: %s\non:  %s",
+							dst, offPaths[i], got)
+					}
+					// Property 2: clone/resume at every boundary, against a
+					// fresh copy of the snapshot per replay.
+					for k := 0; k < n; k++ {
+						onEng.Opts.SegmentStore = snap.Clone()
+						mm := onEng.Begin(context.Background(), c.src, dst)
+						for j := 0; j < k; j++ {
+							mm.Deliver(onEng.ExecPending(mm.Context(), mm.Next()))
+						}
+						cl := mm.Clone()
+						got, rest := driveMachine(onEng, cl)
+						if !reflect.DeepEqual(got, ref) || k+rest != n {
+							t.Fatalf("dst %s: memoized clone resumed at boundary %d/%d diverged (+%d pendings)\nref %+v\ngot %+v",
+								dst, k, n, rest, ref, got)
+						}
+						onEng.Opts.SegmentStore = snap.Clone()
+						orig, rest := driveMachine(onEng, mm)
+						if !reflect.DeepEqual(orig, ref) || k+rest != n {
+							t.Fatalf("dst %s: original resumed after cloning at boundary %d/%d diverged\nref %+v\ngot %+v",
+								dst, k, n, ref, orig)
+						}
+					}
+					onEng.Opts.SegmentStore = on.SegmentStore
+				}
+				totalSplices += reg.Counter("engine_segment_splices_total").Value()
+			})
+		}
+	}
+	if totalSplices == 0 {
+		t.Error("no measurement spliced a memoized segment: the differential suite proved nothing")
+	}
+}

@@ -51,6 +51,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8a", "fig8b",
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig11", "fig12", "fig13", "fig14",
 		"appxD1", "appxE", "appxB2", "insights", "ablation", "throughput",
+		"segments",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

@@ -45,3 +45,11 @@ func registerBatchFamily(r *obs.Registry, state string) {
 func registerBatchFamilyAgain(r *obs.Registry) {
 	r.Gauge("store_wal_bytes").Set(1) // want "already registered in this package"
 }
+
+// The segment-memoization metric family (internal/core + the segment
+// store): splice-path counters published by the engine and the store.
+func registerSegmentFamily(r *obs.Registry) {
+	r.Counter("engine_segment_hits_total").Inc()
+	r.Counter("engine_segment_splices_total").Inc()
+	r.Counter("engine_segment_stale_evictions_total").Inc()
+}

@@ -29,7 +29,14 @@ type DeploymentBackend struct {
 
 // NewDeploymentBackend wires a deployment with a revtr 2.0 engine.
 func NewDeploymentBackend(d *revtr.Deployment) *DeploymentBackend {
-	return &DeploymentBackend{D: d, Engine: d.Engine(core.Revtr20Options())}
+	return NewDeploymentBackendOptions(d, core.Revtr20Options())
+}
+
+// NewDeploymentBackendOptions wires a deployment with an engine built
+// from explicit options — the server uses it to thread operator knobs
+// (segment memoization, cache sizing) into the measurement engine.
+func NewDeploymentBackendOptions(d *revtr.Deployment, opts core.Options) *DeploymentBackend {
+	return &DeploymentBackend{D: d, Engine: d.Engine(opts)}
 }
 
 // RegisterSource implements Backend: the Appendix A bootstrap. The source

@@ -61,6 +61,9 @@ type MeasuredHop struct {
 	Addr      string `json:"addr"`
 	Technique string `json:"technique"`
 	Suspect   bool   `json:"suspectMissingBefore,omitempty"`
+	// Spliced marks hops adopted from the cross-measurement segment
+	// store rather than probed by this measurement.
+	Spliced bool `json:"spliced,omitempty"`
 }
 
 var (
@@ -312,6 +315,7 @@ func buildMeasurement(srcAddr, dstAddr ipv4.Addr, res *core.Result) *Measurement
 			Addr:      h.Addr.String(),
 			Technique: h.Tech.String(),
 			Suspect:   h.SuspectBefore,
+			Spliced:   h.Spliced,
 		})
 	}
 	return m
