@@ -1,9 +1,10 @@
 # Build / test entry points. `make ci` is what every PR must pass: vet
 # and the repo's own static-analysis suite (revtr-lint: determinism,
-# context, metrics, and lock contracts), plus the full suite under the
-# race detector (the service and campaign layers are concurrent; -race
-# is load-bearing, not optional), plus the chaos suite under
-# deterministic fault injection.
+# context, metrics, lock, and concurrency contracts), plus the full
+# suite under the race detector (the service and campaign layers are
+# concurrent; -race is load-bearing, not optional), plus the chaos
+# suite under deterministic fault injection and a smoke pass over the
+# fuzz targets.
 
 GO ?= go
 
@@ -21,11 +22,16 @@ short:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's go/analysis-style suite (cmd/revtr-lint): detpath
-# (wall clock / global rand / unsorted map ranges), ctxflow (context
-# threading), obsnames (metric naming), locksafe (mutex hygiene). Any
+# lint runs the repo's go/analysis-style suite (cmd/revtr-lint). Per
+# package: detpath (wall clock / global rand / unsorted map ranges),
+# ctxflow (context threading), obsnames (metric naming), locksafe
+# (mutex hygiene). Module-wide, over the flow layer's CFG + call graph:
+# lockorder (lock-order cycles), suspendsafe (locks/tickets held across
+# suspension points), spawnbound (goroutine lifetime bounds). Any
 # finding is a CI failure; see DESIGN.md "Determinism contract and
-# static enforcement" for the rules and //revtr: escape hatches.
+# static enforcement" and "Concurrency contract" for the rules and
+# //revtr: escape hatches. `revtr-lint -json` / `-run <analyzers>`
+# machine-reads and filters the same sweep.
 lint:
 	$(GO) run ./cmd/revtr-lint ./...
 
@@ -35,7 +41,7 @@ lint:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-ci: vet lint race bench chaos soak cover
+ci: vet lint race bench chaos fuzz soak cover
 
 # cover enforces a coverage floor on the segment store: it is shared
 # mutable state spliced into other measurements' results, so its

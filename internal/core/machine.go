@@ -1031,6 +1031,8 @@ func (e *Engine) ExecPending(ctx context.Context, p *Pending) Delivery {
 // the blocking path. Concurrency is bounded by memory: 10k+ suspended
 // machines cost heap, while goroutines stay bounded by the pool's
 // worker budget.
+//
+//revtr:suspends parks the machine between probe rounds; completions resume it on pool executors
 func (e *Engine) MeasureAsync(ctx context.Context, src Source, dst ipv4.Addr, done func(*Result)) {
 	e.driveAsync(e.Begin(ctx, src, dst), nil, done)
 }

@@ -48,17 +48,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ReportfDir records a diagnostic at pos that the named //revtr:
+// directive kind would suppress; the kind rides along so machine-read
+// output (revtr-lint -json) can say which escape hatch applies.
+func (p *Pass) ReportfDir(pos token.Pos, dir, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Directive: dir, Message: fmt.Sprintf(format, args...)})
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Directive, when non-empty, names the //revtr: directive kind that
+	// suppresses diagnostics of this sort.
+	Directive string
 }
 
 // Finding is a rendered diagnostic, ready for printing or comparison.
 type Finding struct {
-	Position token.Position
-	Analyzer string
-	Message  string
+	Position  token.Position
+	Analyzer  string
+	Message   string
+	Directive string
 }
 
 func (f Finding) String() string {

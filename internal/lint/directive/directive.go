@@ -3,12 +3,20 @@
 //
 //	//revtr:wallclock <justification>
 //	//revtr:unordered <justification>
+//	//revtr:heldacross <justification>
+//	//revtr:spawnbound <justification>
+//	//revtr:lockorder <justification>
+//	//revtr:suspends <justification>
+//	//revtr:calls <pkgpath.Func | pkgpath.Type.Method>
 //
 // A directive suppresses matching diagnostics on the line it occupies
 // (trailing comment) and on the line directly below it (standalone
 // comment above the flagged statement). The justification is mandatory:
 // a directive without one is itself a diagnostic, so every escape hatch
-// in the tree carries its reason next to the code it excuses.
+// in the tree carries its reason next to the code it excuses. The two
+// declarative kinds reuse the justification slot: //revtr:suspends
+// explains *why* the function suspends, and //revtr:calls names the
+// function an indirect call resolves to.
 package directive
 
 import (
@@ -25,7 +33,29 @@ const (
 	// Unordered excuses a map range whose body is order-independent in a
 	// way the analyzer cannot prove.
 	Unordered = "unordered"
+	// HeldAcross excuses a lock, ticket, or quota slot intentionally held
+	// across a suspension point (suspendsafe).
+	HeldAcross = "heldacross"
+	// SpawnBound excuses a goroutine launch whose lifetime bound the CFG
+	// cannot see (spawnbound).
+	SpawnBound = "spawnbound"
+	// LockOrder excuses a lock-acquisition edge from the module lock-order
+	// graph (lockorder) — for edges that cannot deadlock for reasons the
+	// analyzer cannot prove (e.g. distinct instances).
+	LockOrder = "lockorder"
+	// Suspends declares that the function (or interface method) on the
+	// annotated line parks the caller's measurement: calls reaching it are
+	// suspension points for suspendsafe. The payload is the reason.
+	Suspends = "suspends"
+	// Calls declares the target of an indirect call on the annotated line
+	// (a function-typed field or interface the static call graph cannot
+	// resolve). The payload is the fully qualified target:
+	// pkgpath.Func or pkgpath.Type.Method.
+	Calls = "calls"
 )
+
+// knownKinds is the closed set of directive kinds, in grammar order.
+var knownKinds = []string{Wallclock, Unordered, HeldAcross, SpawnBound, LockOrder, Suspends, Calls}
 
 const prefix = "//revtr:"
 
@@ -60,19 +90,21 @@ func Parse(fset *token.FileSet, files []*ast.File) *Map {
 				body := strings.TrimPrefix(c.Text, prefix)
 				kind, just, _ := strings.Cut(body, " ")
 				just = strings.TrimSpace(just)
-				switch kind {
-				case Wallclock, Unordered:
-				default:
+				if !known(kind) {
 					m.problems = append(m.problems, Problem{
 						Pos:     c.Pos(),
-						Message: "unknown revtr directive //revtr:" + kind + " (known kinds: wallclock, unordered)",
+						Message: "unknown revtr directive //revtr:" + kind + " (known kinds: " + strings.Join(knownKinds, ", ") + ")",
 					})
 					continue
 				}
 				if just == "" {
+					payload := "<why>"
+					if kind == Calls {
+						payload = "<pkgpath.Func>"
+					}
 					m.problems = append(m.problems, Problem{
 						Pos:     c.Pos(),
-						Message: "//revtr:" + kind + " requires a justification (//revtr:" + kind + " <why>)",
+						Message: "//revtr:" + kind + " requires a justification (//revtr:" + kind + " " + payload + ")",
 					})
 					// Still index it: an unjustified directive suppresses the
 					// underlying diagnostic so the author sees one actionable
@@ -91,22 +123,40 @@ func Parse(fset *token.FileSet, files []*ast.File) *Map {
 	return m
 }
 
-// Allows reports whether a diagnostic of the given kind at pos is
-// suppressed by a directive on the same line or the line above.
-func (m *Map) Allows(fset *token.FileSet, pos token.Pos, kind string) bool {
-	p := fset.Position(pos)
-	lines, ok := m.byLine[p.Filename]
-	if !ok {
-		return false
-	}
-	for _, line := range [2]int{p.Line, p.Line - 1} {
-		for _, d := range lines[line] {
-			if d.Kind == kind {
-				return true
-			}
+func known(kind string) bool {
+	for _, k := range knownKinds {
+		if kind == k {
+			return true
 		}
 	}
 	return false
+}
+
+// Allows reports whether a diagnostic of the given kind at pos is
+// suppressed by a directive on the same line or the line above.
+func (m *Map) Allows(fset *token.FileSet, pos token.Pos, kind string) bool {
+	return len(m.At(fset, pos, kind)) > 0
+}
+
+// At returns the directives of the given kind attached to pos: on the
+// same line (trailing comment) or the line directly above (standalone
+// comment). Declarative kinds (suspends, calls) are read through At, so
+// their payloads follow the same placement rule as suppressions.
+func (m *Map) At(fset *token.FileSet, pos token.Pos, kind string) []Directive {
+	p := fset.Position(pos)
+	lines, ok := m.byLine[p.Filename]
+	if !ok {
+		return nil
+	}
+	var out []Directive
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, d := range lines[line] {
+			if d.Kind == kind {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
 }
 
 // Problems lists the malformed directives found during Parse.

@@ -54,6 +54,65 @@ func f() {
 	}
 }
 
+func TestHeldAcrossDirective(t *testing.T) {
+	fset, files := parse(t, `package p
+
+func f() {
+	_ = 0 //revtr:heldacross the completion callback releases the lock
+	_ = 1 //revtr:heldacross
+}
+`)
+	m := directive.Parse(fset, files)
+	ps := m.Problems()
+	if len(ps) != 1 {
+		t.Fatalf("got %d problems, want 1: %v", len(ps), ps)
+	}
+	if !strings.Contains(ps[0].Message, "//revtr:heldacross requires a justification") {
+		t.Errorf("problem = %q, want heldacross justification complaint", ps[0].Message)
+	}
+	pos := func(line int) token.Pos {
+		return fset.File(files[0].Pos()).LineStart(line)
+	}
+	if !m.Allows(fset, pos(4), directive.HeldAcross) {
+		t.Error("justified heldacross should suppress on its line")
+	}
+	if m.Allows(fset, pos(4), directive.SpawnBound) {
+		t.Error("heldacross must not suppress spawnbound diagnostics")
+	}
+	// The empty-justification directive is itself a diagnostic (checked
+	// above) but still suppresses, so the author sees one actionable
+	// message rather than two.
+	if !m.Allows(fset, pos(5), directive.HeldAcross) {
+		t.Error("unjustified heldacross should still suppress")
+	}
+}
+
+func TestDeclarativeDirectivePayloads(t *testing.T) {
+	fset, files := parse(t, `package p
+
+func f() {
+	g() //revtr:calls example.com/pkg.T.M
+}
+
+//revtr:suspends parks the caller until the callback fires
+func g() {}
+`)
+	m := directive.Parse(fset, files)
+	if len(m.Problems()) != 0 {
+		t.Fatalf("unexpected problems: %v", m.Problems())
+	}
+	pos := func(line int) token.Pos {
+		return fset.File(files[0].Pos()).LineStart(line)
+	}
+	ds := m.At(fset, pos(4), directive.Calls)
+	if len(ds) != 1 || ds[0].Justification != "example.com/pkg.T.M" {
+		t.Errorf("At(calls) = %v, want one directive with the target payload", ds)
+	}
+	if len(m.At(fset, pos(8), directive.Suspends)) != 1 {
+		t.Error("At(suspends) should see the declaration above the func line")
+	}
+}
+
 func TestMalformedDirectives(t *testing.T) {
 	fset, files := parse(t, `package p
 

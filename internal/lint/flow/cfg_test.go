@@ -1,0 +1,136 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"revtr/internal/lint/flow"
+)
+
+// buildFor parses src, finds the function named fn, and builds its CFG.
+func buildFor(t *testing.T, src, fn string) *flow.CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if ok && fd.Name.Name == fn {
+			return flow.BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no function %q in source", fn)
+	return nil
+}
+
+// reaches reports whether walking successor edges from `from` visits `to`.
+func reaches(from, to *flow.Block) bool {
+	seen := map[*flow.Block]bool{}
+	var walk func(b *flow.Block) bool
+	walk = func(b *flow.Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg := buildFor(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}
+`, "f")
+	var cond *flow.Block
+	for _, b := range cfg.Blocks {
+		if b.Cond != nil {
+			if cond != nil {
+				t.Fatalf("more than one condition block")
+			}
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no block carries the if condition")
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2 (true, false)", len(cond.Succs))
+	}
+	for i, s := range cond.Succs {
+		if !reaches(s, cfg.Exit) {
+			t.Errorf("branch %d does not reach the exit block", i)
+		}
+	}
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Error("entry does not reach exit")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	cfg := buildFor(t, `package p
+func g(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`, "g")
+	var cond *flow.Block
+	for _, b := range cfg.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no block carries the loop condition")
+	}
+	// The loop body (true edge) must flow back around to the condition.
+	if !reaches(cond.Succs[0], cond) {
+		t.Error("loop body has no back edge to the condition")
+	}
+	// The false edge must leave the loop and reach the exit.
+	if !reaches(cond.Succs[1], cfg.Exit) {
+		t.Error("loop exit edge does not reach the function exit")
+	}
+	if reaches(cfg.Entry, cfg.Exit) != true {
+		t.Error("entry does not reach exit")
+	}
+}
+
+func TestCFGBreakLeavesLoop(t *testing.T) {
+	cfg := buildFor(t, `package p
+func h(n int) int {
+	for {
+		if n > 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+`, "h")
+	if !reaches(cfg.Entry, cfg.Exit) {
+		t.Error("break does not connect the loop to the function exit")
+	}
+}

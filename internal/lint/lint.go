@@ -1,20 +1,34 @@
 // Package lint assembles the revtr-lint suite: repo-specific go/analysis
-// style checkers that turn the determinism, context, and metrics
-// contracts (DESIGN.md "Determinism contract and static enforcement")
-// into compile-time gates. `make lint` / `make ci` run the suite over
-// the whole module via cmd/revtr-lint and fail on any diagnostic.
+// style checkers that turn the determinism, context, metrics, and
+// concurrency contracts (DESIGN.md "Determinism contract and static
+// enforcement" and "Concurrency contract") into compile-time gates.
+// `make lint` / `make ci` run the suite over the whole module via
+// cmd/revtr-lint and fail on any diagnostic.
+//
+// The suite has two analyzer shapes: per-package analyzers
+// (analysis.Analyzer — detpath, ctxflow, obsnames, locksafe) that see
+// one type-checked package at a time, and module analyzers
+// (flow.Analyzer — lockorder, suspendsafe, spawnbound) that see every
+// loaded package at once through a flow.Program, because lock order and
+// suspension safety are properties of cross-package call chains.
 package lint
 
 import (
+	"fmt"
+
 	"revtr/internal/lint/analysis"
 	"revtr/internal/lint/ctxflow"
 	"revtr/internal/lint/detpath"
+	"revtr/internal/lint/flow"
 	"revtr/internal/lint/loader"
+	"revtr/internal/lint/lockorder"
 	"revtr/internal/lint/locksafe"
 	"revtr/internal/lint/obsnames"
+	"revtr/internal/lint/spawnbound"
+	"revtr/internal/lint/suspendsafe"
 )
 
-// Analyzers returns the suite in its fixed run order.
+// Analyzers returns the per-package analyzers in their fixed run order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detpath.Analyzer,
@@ -24,9 +38,54 @@ func Analyzers() []*analysis.Analyzer {
 	}
 }
 
+// FlowAnalyzers returns the module-wide analyzers in their fixed run
+// order.
+func FlowAnalyzers() []*flow.Analyzer {
+	return []*flow.Analyzer{
+		lockorder.Analyzer,
+		suspendsafe.Analyzer,
+		spawnbound.Analyzer,
+	}
+}
+
+// Names lists every analyzer in the suite, per-package first, in run
+// order. The -run filter of cmd/revtr-lint accepts exactly these names.
+func Names() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	for _, a := range FlowAnalyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
 // Run loads the packages matched by patterns (relative to dir) and runs
-// every analyzer over each, returning the sorted findings.
+// the whole suite, returning the sorted findings.
 func Run(dir string, patterns ...string) ([]analysis.Finding, error) {
+	return RunSelected(dir, nil, patterns...)
+}
+
+// RunSelected is Run restricted to the named analyzers (nil or empty
+// means all). Unknown names are an error, so a typo in -run fails loudly
+// instead of silently passing.
+func RunSelected(dir string, only []string, patterns ...string) ([]analysis.Finding, error) {
+	selected := map[string]bool{}
+	if len(only) > 0 {
+		known := map[string]bool{}
+		for _, n := range Names() {
+			known[n] = true
+		}
+		for _, n := range only {
+			if !known[n] {
+				return nil, fmt.Errorf("unknown analyzer %q (have %v)", n, Names())
+			}
+			selected[n] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
 	pkgs, err := loader.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
@@ -34,16 +93,41 @@ func Run(dir string, patterns ...string) ([]analysis.Finding, error) {
 	var findings []analysis.Finding
 	for _, p := range pkgs {
 		for _, a := range Analyzers() {
+			if !want(a.Name) {
+				continue
+			}
 			pass := analysis.NewPass(a, p.Fset, p.Files, p.Types, p.Info, func(d analysis.Diagnostic) {
 				findings = append(findings, analysis.Finding{
-					Position: p.Fset.Position(d.Pos),
-					Analyzer: a.Name,
-					Message:  d.Message,
+					Position:  p.Fset.Position(d.Pos),
+					Analyzer:  a.Name,
+					Message:   d.Message,
+					Directive: d.Directive,
 				})
 			})
 			if err := a.Run(pass); err != nil {
 				return nil, err
 			}
+		}
+	}
+	var prog *flow.Program
+	for _, a := range FlowAnalyzers() {
+		if !want(a.Name) {
+			continue
+		}
+		if prog == nil {
+			prog = flow.BuildProgram(pkgs)
+		}
+		a := a
+		pass := flow.NewPass(a, prog, func(d analysis.Diagnostic) {
+			findings = append(findings, analysis.Finding{
+				Position:  prog.Fset.Position(d.Pos),
+				Analyzer:  a.Name,
+				Message:   d.Message,
+				Directive: d.Directive,
+			})
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, err
 		}
 	}
 	analysis.SortFindings(findings)

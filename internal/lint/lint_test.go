@@ -3,19 +3,28 @@ package lint_test
 import (
 	"os"
 	"path/filepath"
+	"slices"
 	"testing"
 
 	"revtr/internal/lint"
 )
 
 // TestRepoIsClean is the suite's meta-test: the module itself must lint
-// clean, so `make lint` (and the lint step of `make ci`) stays a
-// zero-findings gate. Any new wall-clock read, global rand draw,
-// unsorted map range, or context/metrics/lock violation fails here
-// first, with the same message revtr-lint prints.
+// clean under all seven analyzers — the per-package four (detpath,
+// ctxflow, obsnames, locksafe) and the module-wide flow three
+// (lockorder, suspendsafe, spawnbound) — so `make lint` (and the lint
+// step of `make ci`) stays a zero-findings gate. Any new wall-clock
+// read, global rand draw, unsorted map range, context/metrics/lock
+// violation, lock-order inversion, lock held across a suspension
+// point, or unbounded goroutine fails here first, with the same
+// message revtr-lint prints.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("lint sweep type-checks the whole module; skipped in -short")
+	}
+	want := []string{"detpath", "ctxflow", "obsnames", "locksafe", "lockorder", "suspendsafe", "spawnbound"}
+	if got := lint.Names(); !slices.Equal(got, want) {
+		t.Fatalf("lint.Names() = %v, want %v", got, want)
 	}
 	root, err := moduleRoot()
 	if err != nil {

@@ -5,6 +5,12 @@
 // expected by a want comment. Testdata packages live under
 // testdata/src/<name> and are real, compiling packages of this module,
 // so the analyzers are exercised against genuine type information.
+//
+// Run exercises a per-package analyzer against one fixture package;
+// RunModule exercises a module analyzer (flow.Analyzer) against every
+// package under testdata/src at once — fixtures may import each other by
+// their full module paths, which is how the lockorder suite builds
+// cross-package acquisition chains.
 package linttest
 
 import (
@@ -17,6 +23,7 @@ import (
 	"testing"
 
 	"revtr/internal/lint/analysis"
+	"revtr/internal/lint/flow"
 	"revtr/internal/lint/loader"
 )
 
@@ -48,17 +55,55 @@ func Run(t *testing.T, testdata, pkg string, a *analysis.Analyzer) {
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: %v", a.Name, err)
 	}
+	check(t, pkgs, got)
+}
 
+// RunModule loads every package under testdata/src (relative to the
+// calling test's directory) in one loader call, builds the flow Program,
+// runs the module analyzer, and asserts its diagnostics match the want
+// comments across all fixture packages.
+func RunModule(t *testing.T, testdata string, a *flow.Analyzer) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src")
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("loading %s: no packages", dir)
+	}
+	prog := flow.BuildProgram(pkgs)
+
+	var got []analysis.Finding
+	pass := flow.NewPass(a, prog, func(d analysis.Diagnostic) {
+		got = append(got, analysis.Finding{
+			Position: prog.Fset.Position(d.Pos),
+			Analyzer: a.Name,
+			Message:  d.Message,
+		})
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	check(t, pkgs, got)
+}
+
+// check matches diagnostics against the want comments of every loaded
+// package.
+func check(t *testing.T, pkgs []*loader.Package, got []analysis.Finding) {
+	t.Helper()
 	type key struct {
 		file string
 		line int
 	}
 	wants := map[key][]*regexp.Regexp{}
-	for _, f := range p.Files {
-		collectWants(t, p.Fset, f, func(file string, line int, re *regexp.Regexp) {
-			k := key{file, line}
-			wants[k] = append(wants[k], re)
-		})
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			collectWants(t, p.Fset, f, func(file string, line int, re *regexp.Regexp) {
+				k := key{file, line}
+				wants[k] = append(wants[k], re)
+			})
+		}
 	}
 
 	matched := map[key][]bool{}
@@ -69,6 +114,9 @@ func Run(t *testing.T, testdata, pkg string, a *analysis.Analyzer) {
 		k := key{f.Position.Filename, f.Position.Line}
 		ok := false
 		for i, re := range wants[k] {
+			if matched[k][i] {
+				continue
+			}
 			if re.MatchString(f.Message) {
 				matched[k][i] = true
 				ok = true

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"revtr/internal/lint/linttest"
+	"revtr/internal/lint/lockorder"
+)
+
+// TestLockOrder proves a seeded sched↔registry-style inversion across
+// two fixture packages (one edge declared via //revtr:calls, one static)
+// is reported as a cycle, and that a //revtr:lockorder-annotated edge
+// keeps its would-be cycle out of the graph.
+func TestLockOrder(t *testing.T) {
+	linttest.RunModule(t, "testdata", lockorder.Analyzer)
+}

@@ -1,0 +1,35 @@
+// The suppressed case: a would-be cycle whose inverted edge carries a
+// //revtr:lockorder justification, so no finding is reported.
+package regq
+
+import "sync"
+
+type chainA struct {
+	mu sync.Mutex
+	b  *chainB
+}
+
+type chainB struct {
+	mu sync.Mutex
+	a  *chainA
+}
+
+// lockThenB establishes chainA.mu → chainB.mu.
+func (a *chainA) lockThenB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.bump()
+}
+
+func (b *chainB) bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// invertedButExcused would close the cycle (chainB.mu → chainA.mu), but
+// the edge is annotated away, so the graph stays acyclic.
+func (b *chainB) invertedButExcused() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.a.lockThenB() //revtr:lockorder fixture: the a/b instances on this path are never cross-linked
+}

@@ -1,0 +1,37 @@
+// Package regq mirrors the registry half of the sched↔registry shape
+// and seeds the inversion the lockorder analyzer must catch: charging
+// runs under Registry.mu beneath the scheduler's Q.mu (declared in
+// schedq), and ResubmitLocked calls back into the scheduler while
+// holding Registry.mu — the opposite order.
+package regq
+
+import (
+	"sync"
+
+	"revtr/internal/lint/lockorder/testdata/src/schedq"
+)
+
+// Registry is the registry-like half.
+type Registry struct {
+	mu    sync.Mutex
+	sched *schedq.Q
+	used  map[string]int
+}
+
+// tryCharge is the admission callback the scheduler invokes under its
+// own lock (the declared edge in schedq.Submit).
+func (r *Registry) tryCharge(user string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.used[user]++
+	return true
+}
+
+// ResubmitLocked seeds the inversion: Registry.mu is held while Submit
+// transitively acquires Q.mu (and, through the declared callback,
+// Registry.mu again).
+func (r *Registry) ResubmitLocked(user string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sched.Submit(user) // want "lock-order cycle"
+}

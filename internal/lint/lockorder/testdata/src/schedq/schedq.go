@@ -1,0 +1,29 @@
+// Package schedq mirrors the scheduler half of the repo's
+// sched↔registry shape: it holds its own lock while charging admission
+// through a function-typed callback that lands in the registry package.
+// The static resolver cannot see through the field call, so the edge is
+// declared with //revtr:calls — exactly how internal/sched declares its
+// TryCharge edge.
+package schedq
+
+import "sync"
+
+// Q is the scheduler-like half: one lock, one admission callback.
+type Q struct {
+	mu        sync.Mutex
+	TryCharge func(user string) bool
+	pending   int
+}
+
+// Submit admits one job under q.mu, charging quota through the callback
+// while the lock is held. This is the forward half of the lock order:
+// Q.mu → Registry.mu.
+func (q *Q) Submit(user string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ok := q.TryCharge(user) //revtr:calls revtr/internal/lint/lockorder/testdata/src/regq.Registry.tryCharge
+	if ok {
+		q.pending++
+	}
+	return ok
+}

@@ -50,7 +50,7 @@ func run(pass *analysis.Pass) error {
 
 // mutexMethod resolves a call to a sync.Mutex / sync.RWMutex lock or
 // unlock method, returning the lock-expression key and the lock mode
-// ("w" for Lock/Unlock, "r" for RLock/RUnlock).
+// ("w" for Lock/Unlock/TryLock, "r" for RLock/RUnlock/TryRLock).
 func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) (key, mode, name string, ok bool) {
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
@@ -61,14 +61,51 @@ func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) (key, mode, name strin
 		return "", "", "", false
 	}
 	switch fn.Name() {
-	case "Lock", "Unlock":
+	case "Lock", "Unlock", "TryLock":
 		mode = "w"
-	case "RLock", "RUnlock":
+	case "RLock", "RUnlock", "TryRLock":
 		mode = "r"
 	default:
 		return "", "", "", false
 	}
 	return types.ExprString(sel.X), mode, fn.Name(), true
+}
+
+// tryLockCond recognizes an if condition of the shape `mu.TryLock()` or
+// `!mu.TryLock()` (and the TryRLock variants), returning the lock key
+// and whether the condition is negated.
+func tryLockCond(pass *analysis.Pass, cond ast.Expr) (key, render string, negated, ok bool) {
+	e := ast.Unparen(cond)
+	if u, isNot := e.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		negated = true
+		e = ast.Unparen(u.X)
+	}
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false, false
+	}
+	k, mode, name, isMu := mutexMethod(pass, call)
+	if !isMu || (name != "TryLock" && name != "TryRLock") {
+		return "", "", false, false
+	}
+	return k + "\x00" + mode, k, negated, true
+}
+
+// terminates reports whether a block's last statement unconditionally
+// leaves the enclosing function or loop (return / break / continue /
+// goto / panic-shaped call is left out on purpose: only the syntactic
+// terminators the linear simulation can trust).
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch s := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	}
+	return false
 }
 
 type lockEvent struct {
@@ -79,10 +116,27 @@ type lockEvent struct {
 }
 
 // checkFuncBody simulates lock state linearly over one function body
-// (closures are checked as their own bodies).
+// (closures are checked as their own bodies). The state is a hold COUNT
+// per lock-and-mode, not a boolean: sync.RWMutex read locks are
+// recursive, so a body that takes a second RLock under a deferred
+// RUnlock holds one real lock at return — a boolean model (what this
+// analyzer used before) cancels them and misses the leak. At each
+// return, a key whose count exceeds its deferred-unlock count is held.
+//
+// TryLock/TryRLock used as an if condition is modelled on the branch
+// where it succeeded: `if mu.TryLock() { ... }` holds the lock only
+// inside the body (with a synthetic release at the closing brace), and
+// `if !mu.TryLock() { return }` holds it from the statement after the
+// if. Any other TryLock shape is untracked, as before.
 func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt) {
 	var events []lockEvent
-	deferred := map[string]bool{}
+	deferred := map[string]int{} // key -> number of deferred unlocks
+	renders := map[string]string{}
+
+	record := func(pos token.Pos, key, render, kind string) {
+		renders[key] = render
+		events = append(events, lockEvent{pos, key, render, kind})
+	}
 
 	var visit func(n ast.Node) bool
 	visit = func(n ast.Node) bool {
@@ -92,7 +146,7 @@ func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			return false
 		case *ast.DeferStmt:
 			if key, mode, name, ok := mutexMethod(pass, n.Call); ok && (name == "Unlock" || name == "RUnlock") {
-				deferred[key+"\x00"+mode] = true
+				deferred[key+"\x00"+mode]++
 			} else if lit, isLit := ast.Unparen(n.Call.Fun).(*ast.FuncLit); isLit {
 				// A deferred closure is its own scope, but any unlock it
 				// performs runs at function exit, so it also counts as a
@@ -101,20 +155,55 @@ func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt) {
 				ast.Inspect(lit.Body, func(m ast.Node) bool {
 					if call, isCall := m.(*ast.CallExpr); isCall {
 						if key, mode, name, ok := mutexMethod(pass, call); ok && (name == "Unlock" || name == "RUnlock") {
-							deferred[key+"\x00"+mode] = true
+							deferred[key+"\x00"+mode]++
 						}
 					}
 					return true
 				})
 			}
 			return false
+		case *ast.IfStmt:
+			if key, render, negated, ok := tryLockCond(pass, n.Cond); ok {
+				if n.Init != nil {
+					ast.Inspect(n.Init, visit)
+				}
+				if !negated {
+					// Held inside the taken branch only: synthetic release
+					// at the closing brace catches the merge, real returns
+					// inside the body are checked against the hold.
+					record(n.Body.Lbrace, key, render, "lock")
+					ast.Inspect(n.Body, visit)
+					record(n.Body.Rbrace, key, render, "unlock")
+					if n.Else != nil {
+						ast.Inspect(n.Else, visit)
+					}
+					return false
+				}
+				if terminates(n.Body) {
+					// `if !mu.TryLock() { return }`: the failure path
+					// leaves, so the lock is held from the if statement's
+					// end onward.
+					ast.Inspect(n.Body, visit)
+					record(n.End(), key, render, "lock")
+					if n.Else != nil {
+						ast.Inspect(n.Else, visit)
+					}
+					return false
+				}
+				// A non-terminating failure branch merges held and
+				// not-held paths; leave the TryLock untracked.
+			}
+			return true
 		case *ast.CallExpr:
 			if key, mode, name, ok := mutexMethod(pass, n); ok {
-				kind := "lock"
-				if name == "Unlock" || name == "RUnlock" {
-					kind = "unlock"
+				switch name {
+				case "Unlock", "RUnlock":
+					record(n.Pos(), key+"\x00"+mode, key, "unlock")
+				case "Lock", "RLock":
+					record(n.Pos(), key+"\x00"+mode, key, "lock")
+					// TryLock/TryRLock outside a recognized if condition is
+					// untracked: its success is unknowable linearly.
 				}
-				events = append(events, lockEvent{n.Pos(), key + "\x00" + mode, key, kind})
 			}
 		case *ast.ReturnStmt:
 			events = append(events, lockEvent{n.Pos(), "", "", "return"})
@@ -128,25 +217,27 @@ func checkFuncBody(pass *analysis.Pass, body *ast.BlockStmt) {
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 
-	held := map[string]string{} // key -> render, currently held
+	count := map[string]int{} // key -> current hold depth
 	for _, e := range events {
 		switch e.kind {
 		case "lock":
-			if !deferred[e.key] {
-				held[e.key] = e.render
-			}
+			count[e.key]++
 		case "unlock":
-			delete(held, e.key)
+			if count[e.key] > 0 {
+				count[e.key]--
+			}
 		case "return":
-			keys := make([]string, 0, len(held))
-			for k := range held {
-				keys = append(keys, k)
+			keys := make([]string, 0, len(count))
+			for k := range count {
+				if count[k] > deferred[k] {
+					keys = append(keys, k)
+				}
 			}
 			sort.Strings(keys)
 			for _, k := range keys {
 				pass.Reportf(e.pos,
 					"return while %s is held (no Unlock between the Lock and this return); unlock before returning or use defer %s.Unlock()",
-					held[k], held[k])
+					renders[k], renders[k])
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+// Package spawn exercises spawnbound: every go statement must be
+// WaitGroup-tracked or context-cancelled on a visible path, or carry a
+// //revtr:spawnbound justification.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+// Naked leaks: nothing bounds the goroutine's lifetime.
+func Naked(work chan int) {
+	go func() { // want "goroutine has no provable lifetime bound"
+		for range work {
+		}
+	}()
+}
+
+// Tracked is WaitGroup-bounded.
+func Tracked(wg *sync.WaitGroup, work chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range work {
+		}
+	}()
+}
+
+// Ctxed observes cancellation.
+func Ctxed(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-work:
+			}
+		}
+	}()
+}
+
+// drain never checks for cancellation.
+func drain(work chan int) {
+	for range work {
+	}
+}
+
+// NamedNaked spawns an unbounded named function.
+func NamedNaked(work chan int) {
+	go drain(work) // want "goroutine has no provable lifetime bound"
+}
+
+// loop polls ctx.Err, so spawning it is bounded.
+func loop(ctx context.Context, work chan int) {
+	for ctx.Err() == nil {
+		select {
+		case <-work:
+		default:
+			return
+		}
+	}
+}
+
+// NamedCtx spawns a named function whose body observes cancellation.
+func NamedCtx(ctx context.Context, work chan int) {
+	go loop(ctx, work)
+}
+
+// Excused documents a deliberately process-long goroutine.
+func Excused(work chan int) {
+	go drain(work) //revtr:spawnbound fixture: drains until process exit by design
+}

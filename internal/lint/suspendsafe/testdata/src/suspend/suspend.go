@@ -1,0 +1,79 @@
+// Package suspend exercises suspendsafe: locks and tickets held across
+// declared suspension points, transitive propagation through helpers,
+// interface-method suspension seeds, and the //revtr:heldacross escape
+// hatch.
+package suspend
+
+import "sync"
+
+// Pool is the probe-pool stand-in.
+type Pool struct{}
+
+// Go submits work to the pool.
+//
+//revtr:suspends parks the callback until the batch completes
+func (p *Pool) Go(done func()) {}
+
+// Backend is the async-measurement interface stand-in.
+type Backend interface {
+	// MeasureAsync starts a measurement.
+	//revtr:suspends parks the caller until the result callback fires
+	MeasureAsync(done func())
+}
+
+// Engine holds a lock, a read-write lock, and a ticket semaphore around
+// pool submissions.
+type Engine struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	p   *Pool
+	sem chan struct{}
+}
+
+// Bad holds e.mu across the suspension point.
+func (e *Engine) Bad() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.p.Go(func() {}) // want "lock e.mu held across a suspension point"
+}
+
+// Indirect reaches the suspension point through a helper: the mark
+// propagates up the call graph.
+func (e *Engine) Indirect() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.submit() // want "lock e.mu held across a suspension point"
+}
+
+// submit suspends but holds nothing itself: no finding here.
+func (e *Engine) submit() {
+	e.p.Go(func() {})
+}
+
+// IfaceBad holds the lock across an interface-method suspension point.
+func (e *Engine) IfaceBad(b Backend) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b.MeasureAsync(func() {}) // want "lock e.mu held across a suspension point"
+}
+
+// Annotated pins the read lock deliberately — the atlas pattern: the
+// callback releases it when the batch lands.
+func (e *Engine) Annotated() {
+	e.rw.RLock()
+	e.p.Go(e.rw.RUnlock) //revtr:heldacross fixture: the callback releases the read lock when the batch lands
+}
+
+// Clean releases before suspending.
+func (e *Engine) Clean() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.p.Go(func() {})
+}
+
+// TicketBad holds a semaphore slot across the suspension.
+func (e *Engine) TicketBad() {
+	e.sem <- struct{}{}
+	e.p.Go(func() {}) // want "ticket e.sem held across a suspension point"
+	<-e.sem
+}

@@ -406,12 +406,16 @@ func (p *Pool) Traceroute(ctx context.Context, a measure.Agent, dst ipv4.Addr, s
 // queued closures, not 10k goroutines. done must not block indefinitely
 // (it runs on the executor; typical callers resume a state machine and
 // either finish or re-queue).
+//
+//revtr:suspends queues the batch and parks the measurement until an executor resumes it
 func (p *Pool) Go(ctx context.Context, reqs []Request, pol RetryPolicy, done func(Batch)) {
 	p.submit(func() { done(p.run(ctx, reqs, nil, pol)) })
 }
 
 // GoTraceroute is Traceroute, asynchronously, under the same executor
 // discipline as Go.
+//
+//revtr:suspends queues the traceroute and parks the measurement until an executor resumes it
 func (p *Pool) GoTraceroute(ctx context.Context, a measure.Agent, dst ipv4.Addr, seqBase uint64, done func(measure.TracerouteResult, int)) {
 	p.submit(func() {
 		tr, sent := p.Traceroute(ctx, a, dst, seqBase)
@@ -429,7 +433,7 @@ func (p *Pool) submit(task func()) {
 	p.asyncQueued.Set(int64(len(p.queue)))
 	if p.execs < p.workers {
 		p.execs++
-		go p.executor()
+		go p.executor() //revtr:spawnbound executor count is capped at p.workers under qmu and each exits when the queue drains
 	}
 	p.qmu.Unlock()
 }

@@ -452,7 +452,7 @@ func (s *Scheduler) Submit(ctx context.Context, user string, specs []JobSpec) (B
 // tryChargeLocked consults the admission quota callback for one
 // measurement-driving job. Callers hold s.mu.
 func (s *Scheduler) tryChargeLocked(user string) bool {
-	return s.opts.TryCharge == nil || s.opts.TryCharge(user)
+	return s.opts.TryCharge == nil || s.opts.TryCharge(user) //revtr:calls revtr/internal/service.Registry.tryCharge
 }
 
 // enqueueLocked appends a job to its user's FIFO and makes sure the
@@ -609,7 +609,7 @@ func (s *Scheduler) execAsyncSafe(ctx context.Context, cancel context.CancelFunc
 			done(nil, fmt.Errorf("sched: exec panic: %v", v))
 		}
 	}()
-	s.opts.ExecAsync(ctx, j.user, j.src, j.dst, done)
+	s.opts.ExecAsync(ctx, j.user, j.src, j.dst, done) //revtr:calls revtr/internal/service.Registry.batchExecAsync
 }
 
 // nextLocked blocks until a job is dispatchable and picks it by

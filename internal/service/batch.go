@@ -36,6 +36,7 @@ import (
 // panicked mid-measurement (mirroring Backend.Measure's recover
 // contract in safeMeasure).
 type AsyncBackend interface {
+	//revtr:suspends starting a measurement parks it until the backend's completion callback fires
 	MeasureAsync(ctx context.Context, src core.Source, dst ipv4.Addr, done func(*core.Result))
 }
 
@@ -129,6 +130,7 @@ func (r *Registry) batchExecAsync(ctx context.Context, key string, src, dst ipv4
 		return
 	}
 	reg.atlasMu.RLock()
+	//revtr:heldacross the atlas read lock is pinned for the measurement's suspended lifetime — DailyMaintenance must not swap entries mid-measurement; the completion callback releases it
 	ab.MeasureAsync(ctx, reg.src, dst, func(res *core.Result) {
 		reg.atlasMu.RUnlock()
 		r.countBatchExec()
