@@ -64,8 +64,11 @@ chaos:
 # every job lands in exactly one terminal state, shed + coalesced +
 # done + failed balances the submission total, the metrics agree with
 # the per-job ledger, and nobody overdraws their daily quota.
+# TestSoakStream reruns the workload with the full streaming surface
+# attached — per-batch followers, firehose subscribers, one permanently
+# stalled subscriber — and checks event/ledger conservation.
 soak:
-	$(GO) test -race -run TestSoakBatch -count=1 ./internal/service/
+	$(GO) test -race -run 'TestSoak' -count=1 ./internal/service/
 
 # fuzz gives each fuzz target a short budget: a smoke pass over the
 # parser/codec fuzzers, not a soak (lengthen locally with FUZZTIME).

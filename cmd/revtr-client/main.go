@@ -4,6 +4,7 @@
 //	revtr-client -server ... -key KEY addsource -addr 16.0.128.1
 //	revtr-client -server ... -key KEY measure -src 16.0.128.1 -dst 16.12.128.1
 //	revtr-client -server ... -key KEY batch -pairs pairs.txt
+//	revtr-client -server ... -key KEY tail -replay 16
 //	revtr-client -server ... get -id 0
 //	revtr-client -server ... sources
 //	revtr-client -server ... stats
@@ -11,17 +12,23 @@
 //
 // The batch pairs file holds one "src dst" pair per line (whitespace or
 // comma separated; blank lines and #-comments ignored). batch submits
-// the whole file as one asynchronous job, polls until every job is
-// terminal, prints a per-job table, and exits non-zero if any job
-// failed or was shed.
+// the whole file as one asynchronous job, follows its NDJSON event
+// stream (hop-by-hop reveals as the engine stitches each reverse path;
+// -follow=false or a server without streaming falls back to jittered
+// polling), prints a per-job table, and exits non-zero if any job
+// failed or was shed. tail follows the server-wide firehose of
+// completed measurements — every measurement with an admin key, your
+// own otherwise.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strings"
@@ -33,7 +40,7 @@ func main() {
 	key := flag.String("key", "", "API key (X-API-Key)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: revtr-client [flags] adduser|addsource|measure|batch|get|sources|stats|revoke [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: revtr-client [flags] adduser|addsource|measure|batch|tail|get|sources|stats|revoke [subflags]")
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
@@ -68,10 +75,20 @@ func main() {
 	case "batch":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		pairsPath := fs.String("pairs", "", "file of 'src dst' pairs, one per line ('-' = stdin)")
-		poll := fs.Duration("poll", 250*time.Millisecond, "initial poll interval while the batch runs (doubles up to 16x)")
+		follow := fs.Bool("follow", true, "stream live progress events instead of polling (falls back to polling if the server has no streaming)")
+		poll := fs.Duration("poll", 250*time.Millisecond, "initial poll interval on the polling fallback (doubles up to 16x, jittered)")
 		timeout := fs.Duration("timeout", 10*time.Minute, "give up waiting after this long")
 		_ = fs.Parse(args)
-		err = c.batch(*pairsPath, *poll, *timeout)
+		err = c.batch(*pairsPath, *follow, *poll, *timeout)
+	case "tail":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		adminKey := fs.String("admin-key", "", "admin key (sees every user's measurements)")
+		user := fs.String("user", "", "filter by user name (admin only; user keys are auto-scoped)")
+		src := fs.String("src", "", "filter by source address")
+		dst := fs.String("dst", "", "filter by destination address")
+		replay := fs.Int("replay", 0, "serve this many recent archived measurements before going live")
+		_ = fs.Parse(args)
+		err = c.tail(*adminKey, *user, *src, *dst, *replay)
 	case "revoke":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		adminKey := fs.String("admin-key", "admin", "admin key")
@@ -150,10 +167,139 @@ func readPairs(path string) ([]map[string]string, error) {
 	return pairs, nil
 }
 
-// batch submits the pairs file as one asynchronous batch, polls until
+// streamEvent mirrors the server's NDJSON event wire format.
+type streamEvent struct {
+	ID      uint64          `json:"id"`
+	Kind    string          `json:"kind"`
+	Seq     uint64          `json:"seq"`
+	VirtUS  int64           `json:"virtualUs"`
+	Batch   string          `json:"batch"`
+	Job     int             `json:"job"`
+	User    string          `json:"user"`
+	Src     string          `json:"src"`
+	Dst     string          `json:"dst"`
+	Hop     string          `json:"hop"`
+	Tech    string          `json:"technique"`
+	Spliced bool            `json:"spliced"`
+	Count   int             `json:"count"`
+	State   string          `json:"state"`
+	Status  string          `json:"status"`
+	Reason  string          `json:"reason"`
+	Gap     uint64          `json:"gap"`
+	Err     string          `json:"error"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// render prints one progress event as a human line on stderr.
+func (ev *streamEvent) render(w io.Writer) {
+	switch ev.Kind {
+	case "heartbeat":
+	case "hop":
+		mark := ""
+		if ev.Spliced {
+			mark = " [spliced]"
+		}
+		fmt.Fprintf(w, "  job %-4d hop %-15s %s%s\n", ev.Job, ev.Hop, ev.Tech, mark)
+	case "spliced":
+		fmt.Fprintf(w, "  job %-4d splice: adopting %d memoized hops\n", ev.Job, ev.Count)
+	case "fallback":
+		fmt.Fprintf(w, "  job %-4d falling back to %s\n", ev.Job, ev.Tech)
+	case "vp-failover":
+		fmt.Fprintf(w, "  job %-4d vantage point %s dead, failing over\n", ev.Job, ev.Hop)
+	case "state":
+		line := fmt.Sprintf("  job %-4d %s > %s  %s", ev.Job, ev.Src, ev.Dst, ev.State)
+		if ev.Err != "" {
+			line += "  " + ev.Err
+		}
+		fmt.Fprintln(w, line)
+	case "gap":
+		fmt.Fprintf(w, "  (stream gap: %d events dropped)\n", ev.Gap)
+	case "started", "done", "aborted", "failed", "cancelled":
+		fmt.Fprintf(w, "  job %-4d %s > %s  measurement %s\n", ev.Job, ev.Src, ev.Dst, ev.Kind)
+	case "measurement":
+		fmt.Fprintf(w, "measurement %s > %s  %s  (user %s)\n", ev.Src, ev.Dst, ev.Status, ev.User)
+	case "end":
+		fmt.Fprintf(w, "stream ended: %s\n", ev.Reason)
+	}
+}
+
+// stream GETs an NDJSON endpoint and renders each event until the
+// stream ends ("end" event or EOF). extraHeaders augment the API key.
+func (c *client) stream(path string, extraHeaders map[string]string) error {
+	req, err := http.NewRequest("GET", c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	if c.key != "" {
+		req.Header.Set("X-API-Key", c.key)
+	}
+	for k, v := range extraHeaders {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev streamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("bad event %q: %v", line, err)
+		}
+		ev.render(os.Stderr)
+		if ev.Kind == "end" {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// tail follows the server-wide firehose of completed measurements.
+func (c *client) tail(adminKey, user, src, dst string, replay int) error {
+	q := make([]string, 0, 4)
+	for _, kv := range [][2]string{{"user", user}, {"src", src}, {"dst", dst}} {
+		if kv[1] != "" {
+			q = append(q, kv[0]+"="+kv[1])
+		}
+	}
+	if replay > 0 {
+		q = append(q, fmt.Sprintf("replay=%d", replay))
+	}
+	path := "/api/v1/firehose"
+	if len(q) > 0 {
+		path += "?" + strings.Join(q, "&")
+	}
+	var hdr map[string]string
+	if adminKey != "" {
+		hdr = map[string]string{"X-Admin-Key": adminKey}
+	}
+	return c.stream(path, hdr)
+}
+
+// jitter spreads a poll interval uniformly over [d/2, 3d/2) so many
+// clients polling one server don't synchronize into a thundering herd.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// batch submits the pairs file as one asynchronous batch, follows its
+// event stream (or polls with jittered backoff as fallback) until
 // every job is terminal, prints a per-job table, and returns an error
 // (non-zero exit) if any job failed or was shed.
-func (c *client) batch(pairsPath string, poll, timeout time.Duration) error {
+func (c *client) batch(pairsPath string, follow bool, poll, timeout time.Duration) error {
 	if pairsPath == "" {
 		return fmt.Errorf("batch: -pairs is required")
 	}
@@ -167,13 +313,26 @@ func (c *client) batch(pairsPath string, poll, timeout time.Duration) error {
 	}
 	fmt.Fprintf(os.Stderr, "batch %s: %d jobs submitted %v\n", st.ID, len(st.Jobs), st.Counts)
 
+	if follow && !st.Done {
+		if err := c.stream("/api/v1/batch/"+st.ID+"/events", nil); err != nil {
+			fmt.Fprintf(os.Stderr, "streaming unavailable (%v), falling back to polling\n", err)
+		}
+		// Fetch the final snapshot either way: the stream renders
+		// progress; the table below needs the authoritative states.
+		var next batchStatus
+		if err := c.json("GET", "/api/v1/batch/"+st.ID, nil, &next); err != nil {
+			return err
+		}
+		st = next
+	}
+
 	deadline := time.Now().Add(timeout) //revtr:wallclock client-side poll timeout, real time by definition
 	wait := poll
 	for !st.Done {
 		if time.Now().After(deadline) { //revtr:wallclock client-side poll timeout, real time by definition
 			return fmt.Errorf("batch %s still running after %s: %v", st.ID, timeout, st.Counts)
 		}
-		time.Sleep(wait)
+		time.Sleep(jitter(wait))
 		if wait < 16*poll {
 			wait *= 2 // back off while the batch runs; the server does the waiting
 		}

@@ -42,6 +42,7 @@ import (
 	"revtr/internal/sched"
 	"revtr/internal/service"
 	"revtr/internal/store"
+	"revtr/internal/stream"
 )
 
 // buildFaultPlan assembles the fault plan from the -faults spec string
@@ -102,6 +103,9 @@ func main() {
 		batchQueue    = flag.Int("batch-queue-cap", 1024, "batch dispatch queue cap; submissions past it are load-shed")
 		batchQuantum  = flag.Int("batch-quantum", 4, "deficit round-robin quantum: jobs served per user per ring visit")
 		batchPairs    = flag.Int("max-batch-pairs", 0, "max pairs per POST /api/v1/batch request, 400 past it (0 = default 10000)")
+		streamBuffer  = flag.Int("stream-buffer", 0, "per-subscriber event ring on /events and /firehose; a slow subscriber past it drops oldest and gaps (0 = default 256)")
+		firehoseRepl  = flag.Int("firehose-replay", 0, "max archived measurements GET /api/v1/firehose?replay= serves before going live (0 = default 64)")
+		heartbeat     = flag.Duration("stream-heartbeat", 0, "keep-alive interval on idle event streams (0 = default 15s)")
 		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 		writeTimeout  = flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (bulk measurements take a while)")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
@@ -188,6 +192,17 @@ func main() {
 	api := service.NewAPI(reg)
 	api.MeasureTimeout = *measureTO
 	api.MaxBatchPairs = *batchPairs
+	api.HeartbeatInterval = *heartbeat
+	api.FirehoseReplay = *firehoseRepl
+
+	// Streaming before EnableBatch: the first batch job's first event
+	// already has a broker to land on.
+	broker := reg.EnableStream(stream.Options{SubBuffer: *streamBuffer})
+	effRing := *streamBuffer
+	if effRing <= 0 {
+		effRing = 256
+	}
+	log.Printf("streaming: /api/v1/batch/{id}/events + /api/v1/firehose (subscriber ring %d)", effRing)
 
 	// The batch scheduler's workers live until the shutdown context
 	// fires; Drain below waits for the last in-flight measurements.
@@ -238,6 +253,10 @@ func main() {
 		log.Printf("signal received, draining connections (max %s)...", *drainTimeout)
 		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// End every event stream before srv.Shutdown: streaming handlers
+		// hold their connections open until their subscription terminates,
+		// and Shutdown waits for active connections.
+		broker.Shutdown()
 		if err := srv.Shutdown(shCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}

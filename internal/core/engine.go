@@ -12,6 +12,7 @@ import (
 	"revtr/internal/netsim/fabric"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/probe"
+	"revtr/internal/stream"
 )
 
 // Source is a Reverse Traceroute source: an endpoint the user controls,
@@ -256,7 +257,21 @@ func (m *mctx) reserve(n int) uint64 {
 // returns promptly with StatusFailed (and Cancelled set) and its
 // partial probe accounting. ctx may be nil (context.Background()).
 func (e *Engine) MeasureReverse(ctx context.Context, src Source, dst ipv4.Addr) *Result {
+	return e.MeasureReverseStream(ctx, src, dst, nil)
+}
+
+// MeasureReverseStream is MeasureReverse with a progress-event sink:
+// the machine emits typed events (started, hop reveals, fallbacks, the
+// terminal status) synchronously on the caller's goroutine as it
+// advances. The emitted sequence — kinds, hops, per-measurement
+// sequence numbers, virtual timestamps — is bit-identical to the one
+// MeasureAsyncStream emits for the same seed. A nil sink measures
+// silently.
+func (e *Engine) MeasureReverseStream(ctx context.Context, src Source, dst ipv4.Addr, sink func(stream.Event)) *Result {
 	mm := e.Begin(ctx, src, dst)
+	if sink != nil {
+		mm.SetSink(sink)
+	}
 	for p := mm.Next(); p != nil; p = mm.Next() {
 		mm.Deliver(e.ExecPending(mm.Context(), p))
 	}

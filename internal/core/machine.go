@@ -39,6 +39,7 @@ import (
 	"revtr/internal/measure"
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/probe"
+	"revtr/internal/stream"
 )
 
 // PendingKind distinguishes the two shapes of suspended probe work.
@@ -164,6 +165,71 @@ type Machine struct {
 	// one entry per (stitching cursor, adopted hop group) — for
 	// publication to Options.SegmentStore on successful completion.
 	segs []segments.PathSeg
+
+	// sink, when set via SetSink, receives typed progress events at
+	// each state transition. eseq is the per-measurement event sequence
+	// counter: events are stamped only with deterministic state (eseq,
+	// virtual time), so for a fixed seed the emitted sequence is
+	// bit-identical across worker counts and across the blocking and
+	// asynchronous drive paths.
+	sink func(stream.Event)
+	eseq uint64
+}
+
+// SetSink attaches a progress-event sink and emits the opening
+// "started" event. Call immediately after Begin, before driving. The
+// sink is invoked synchronously on whichever goroutine is advancing
+// the machine (one at a time, per the Machine contract); it must not
+// block — hand events to a non-blocking fan-out such as
+// stream.Broker.Publish.
+func (mm *Machine) SetSink(sink func(stream.Event)) {
+	mm.sink = sink
+	mm.emit(stream.Event{Kind: stream.KindStarted})
+	// Begin seeds the result with the destination hop before any sink
+	// can attach; mirror it so hop events and result hops correspond 1:1.
+	mm.emitHops(0)
+}
+
+// emit stamps and delivers one progress event: the per-measurement
+// sequence number and the accumulated virtual probing time — never the
+// wall clock, so the stamps are deterministic. Src/Dst identify the
+// measurement on every event.
+func (mm *Machine) emit(ev stream.Event) {
+	if mm.sink == nil {
+		return
+	}
+	mm.eseq++
+	ev.Seq = mm.eseq
+	ev.VirtUS = mm.res.DurationUS
+	ev.Src = mm.res.Src.String()
+	ev.Dst = mm.res.Dst.String()
+	mm.sink(ev)
+}
+
+// emitHops emits one hop event per result hop adopted since mark, with
+// its revealing technique and splice provenance.
+func (mm *Machine) emitHops(mark int) {
+	if mm.sink == nil {
+		return
+	}
+	for _, h := range mm.res.Hops[mark:] {
+		mm.emit(stream.Event{
+			Kind: stream.KindHop, Hop: h.Addr.String(),
+			Tech: h.Tech.String(), Spliced: h.Spliced,
+		})
+	}
+}
+
+// emitFallback emits a technique-fallback event naming the technique
+// the measurement falls back to.
+func (mm *Machine) emitFallback(next Technique) {
+	mm.emit(stream.Event{Kind: stream.KindFallback, Tech: next.String()})
+}
+
+// emitVPFailover emits a vantage-point failover event for a VP
+// observed dead; Hop carries the VP address.
+func (mm *Machine) emitVPFailover(vp ipv4.Addr) {
+	mm.emit(stream.Event{Kind: stream.KindVPFailover, Hop: vp.String()})
 }
 
 // Begin opens a measurement of the reverse path from dst back to src as
@@ -402,6 +468,16 @@ func (mm *Machine) finishMachine() {
 	mm.e.flagSuspects(mm.res)
 	mm.publishSegments()
 	mm.e.metrics.outcome(mm.res, time.Since(mm.wallStart).Microseconds(), mm.e.cache.size()) //revtr:wallclock engine wall-time metric, distinct from virtual probe time
+	kind := stream.KindDone
+	switch {
+	case mm.res.Cancelled:
+		kind = stream.KindCancelled
+	case mm.res.Status == StatusAborted:
+		kind = stream.KindAborted
+	case mm.res.Status != StatusComplete:
+		kind = stream.KindFailed
+	}
+	mm.emit(stream.Event{Kind: kind, Status: mm.res.Status.String()})
 }
 
 // recordSeg captures the hops just appended to the result
@@ -473,6 +549,7 @@ func (mm *Machine) stepTop() {
 		mark := len(mm.res.Hops)
 		e.finish(mm.res, src)
 		mm.recordSeg(cur, mark)
+		mm.emitHops(mark)
 		mm.finishMachine()
 		return
 	}
@@ -490,6 +567,7 @@ func (mm *Machine) stepTop() {
 		}
 		e.finish(mm.res, src)
 		mm.recordSeg(cur, mark)
+		mm.emitHops(mark)
 		mm.finishMachine()
 		return
 	}
@@ -507,6 +585,8 @@ func (mm *Machine) stepTop() {
 				e.metrics.segmentSplice()
 				e.debug(src, cur, "segments", "spliced memoized reverse suffix",
 					"hops", len(chain))
+				mark := len(mm.res.Hops)
+				mm.emit(stream.Event{Kind: stream.KindSpliced, Count: len(chain)})
 				for _, h := range chain {
 					mm.visited[h.Addr] = true
 					mm.res.Hops = append(mm.res.Hops, Hop{
@@ -519,6 +599,7 @@ func (mm *Machine) stepTop() {
 				// hops are deliberately not recorded — see publishSegments.
 				mm.segs = append(mm.segs, segments.PathSeg{Anchor: cur})
 				e.finish(mm.res, src)
+				mm.emitHops(mark)
 				mm.finishMachine()
 				return
 			}
@@ -620,6 +701,7 @@ func (mm *Machine) onSpoofBatch(b probe.Batch) {
 			// charging the attempt against the spoof budget.
 			mm.markDead(sp.vps[i].Addr)
 			e.metrics.vpFailover()
+			mm.emitVPFailover(sp.vps[i].Addr)
 			deadHere++
 			e.debug(src, cur, "spoof-rr", "vantage point dead, failing over",
 				"vp", sp.vps[i].Addr.String())
@@ -671,6 +753,7 @@ func (mm *Machine) stepAfterRR() {
 		mm.adoptRevealed(false)
 		return
 	}
+	mm.emitFallback(TechTS)
 	mm.ph = phTS
 }
 
@@ -734,6 +817,7 @@ func (mm *Machine) onDBRFallback(b probe.Batch) {
 		if rep.VPDead {
 			mm.markDead(d.fallback[i].VP.Addr)
 			e.metrics.vpFailover()
+			mm.emitVPFailover(d.fallback[i].VP.Addr)
 			continue
 		}
 		if hops := extractReverse(rep.RR.Recorded, cur, e.Alias); len(hops) > 0 {
@@ -763,6 +847,7 @@ func (mm *Machine) adoptRevealed(dbrSuspect bool) {
 		mm.res.Hops = append(mm.res.Hops, Hop{Addr: h, Tech: mm.rev.tech, DBRSuspect: i == 0 && dbrSuspect})
 	}
 	mm.recordSeg(mm.cur, mark)
+	mm.emitHops(mark)
 	next := lastProbeable(mm.rev.hops)
 	if !next.IsZero() && !mm.visited[next] {
 		mm.visited[next] = true
@@ -775,12 +860,14 @@ func (mm *Machine) adoptRevealed(dbrSuspect bool) {
 	if !next.IsZero() {
 		mm.cur = next
 	}
+	mm.emitFallback(TechTS)
 	mm.ph = phTS
 }
 
 // stepTS opens the Timestamp adjacency stage (Q4; revtr 1.0 only).
 func (mm *Machine) stepTS() {
 	if !mm.e.Opts.UseTimestamp {
+		mm.emitFallback(TechSymmetry)
 		mm.ph = phSym
 		return
 	}
@@ -843,6 +930,7 @@ func (mm *Machine) onTSSpoof(b probe.Batch) {
 	if rep.VPDead {
 		mm.markDead(mm.ts.vp.Addr)
 		mm.e.metrics.vpFailover()
+		mm.emitVPFailover(mm.ts.vp.Addr)
 	}
 	mm.ts.elapsedUS += rep.TS.RTTUS
 	mm.evalTS(rep.TS)
@@ -868,10 +956,12 @@ func (mm *Machine) tsDone(next ipv4.Addr) {
 		mark := len(mm.res.Hops)
 		mm.res.Hops = append(mm.res.Hops, Hop{Addr: next, Tech: TechTS})
 		mm.recordSeg(mm.cur, mark)
+		mm.emitHops(mark)
 		mm.cur = next
 		mm.goTop()
 		return
 	}
+	mm.emitFallback(TechSymmetry)
 	mm.ph = phSym
 }
 
@@ -969,6 +1059,7 @@ func (mm *Machine) classifyTraceroute(tr measure.TracerouteResult, elapsed int64
 		mark := len(mm.res.Hops)
 		e.finish(mm.res, src)
 		mm.recordSeg(cur, mark)
+		mm.emitHops(mark)
 		mm.finishMachine()
 		return
 	}
@@ -1004,6 +1095,7 @@ func (mm *Machine) classifyTraceroute(tr measure.TracerouteResult, elapsed int64
 	mark := len(mm.res.Hops)
 	mm.res.Hops = append(mm.res.Hops, Hop{Addr: penult, Tech: TechSymmetry})
 	mm.recordSeg(cur, mark)
+	mm.emitHops(mark)
 	mm.cur = penult
 	mm.goTop()
 }
@@ -1034,7 +1126,23 @@ func (e *Engine) ExecPending(ctx context.Context, p *Pending) Delivery {
 //
 //revtr:suspends parks the machine between probe rounds; completions resume it on pool executors
 func (e *Engine) MeasureAsync(ctx context.Context, src Source, dst ipv4.Addr, done func(*Result)) {
-	e.driveAsync(e.Begin(ctx, src, dst), nil, done)
+	e.MeasureAsyncStream(ctx, src, dst, nil, done)
+}
+
+// MeasureAsyncStream is MeasureAsync with a progress-event sink: the
+// machine emits typed events (started, hop reveals, fallbacks, the
+// terminal status) as it advances — from whichever goroutine is
+// driving it at the time, so the sink must be safe for use across
+// goroutines (though never concurrently for one measurement). A nil
+// sink measures silently.
+//
+//revtr:suspends parks the machine between probe rounds; completions resume it on pool executors
+func (e *Engine) MeasureAsyncStream(ctx context.Context, src Source, dst ipv4.Addr, sink func(stream.Event), done func(*Result)) {
+	mm := e.Begin(ctx, src, dst)
+	if sink != nil {
+		mm.SetSink(sink)
+	}
+	e.driveAsync(mm, nil, done)
 }
 
 // driveAsync advances a machine until it suspends, then hands the

@@ -53,3 +53,19 @@ func registerSegmentFamily(r *obs.Registry) {
 	r.Counter("engine_segment_splices_total").Inc()
 	r.Counter("engine_segment_stale_evictions_total").Inc()
 }
+
+// The progress-streaming metric family (internal/stream): subscriber
+// gauge, delivery/gap counters, and the labelled per-kind event and
+// per-reason drop counters the broker pre-registers.
+func registerStreamFamily(r *obs.Registry, kind, reason string) {
+	r.Gauge("stream_subscribers").Set(0)
+	r.Counter("stream_delivered_total").Inc()
+	r.Counter("stream_gap_events_total").Inc()
+	r.Counter(obs.Label("stream_events_total", "kind", kind)).Inc()
+	r.Counter(obs.Label("stream_events_total", "kind", "hop")).Inc() // labelled: exempt from once-per-package
+	r.Counter(obs.Label("stream_dropped_total", "reason", reason)).Inc()
+}
+
+func registerStreamFamilyAgain(r *obs.Registry) {
+	r.Gauge("stream_subscribers").Set(1) // want "already registered in this package"
+}

@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"revtr/internal/detrand"
-	"revtr/internal/netsim/ipv4"
 	"revtr/internal/obs"
 	"revtr/internal/sched"
 )
@@ -26,12 +25,13 @@ func TestChaosSchedulerAccounting(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			var execCalls atomic.Int64
-			exec := func(ctx context.Context, user string, src, dst ipv4.Addr) (any, error) {
+			exec := func(ctx context.Context, job sched.JobRef) (any, error) {
 				execCalls.Add(1)
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
 				// Deterministic per-key failures: ~1/8 of unique pairs fail.
+				src, dst := job.Src, job.Dst
 				if (uint32(src)^uint32(dst)*2654435761)%8 == 0 {
 					return nil, errors.New("injected failure")
 				}

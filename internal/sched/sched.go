@@ -75,11 +75,23 @@ var (
 	ErrUnknownBatch = errors.New("sched: unknown batch")
 )
 
+// JobRef identifies one admitted job to the Exec callbacks: its batch,
+// index within that batch, owning user key, and measurement endpoints.
+// The batch/index pair lets the executor publish per-job progress
+// (hop-by-hop streaming) onto the right topic.
+type JobRef struct {
+	Batch string
+	Index int
+	User  string
+	Src   ipv4.Addr
+	Dst   ipv4.Addr
+}
+
 // Exec runs one admitted job. It must honor ctx (cancelled jobs should
 // return promptly) and may be called from many workers concurrently.
 // The result is opaque to the scheduler; the service returns the
 // archived *service.Measurement.
-type Exec func(ctx context.Context, user string, src, dst ipv4.Addr) (any, error)
+type Exec func(ctx context.Context, job JobRef) (any, error)
 
 // ExecAsync starts one admitted job without blocking the dispatcher:
 // the callee begins the measurement (e.g. core.Engine.MeasureAsync) and
@@ -87,7 +99,22 @@ type Exec func(ctx context.Context, user string, src, dst ipv4.Addr) (any, error
 // the scheduler runs a single dispatcher instead of a worker pool, and
 // concurrency is bounded by Options.MaxInFlight suspended measurements
 // rather than Options.Workers parked goroutines — the §5.2.4 shape.
-type ExecAsync func(ctx context.Context, user string, src, dst ipv4.Addr, done func(res any, err error))
+type ExecAsync func(ctx context.Context, job JobRef, done func(res any, err error))
+
+// JobEvent is one job lifecycle transition, delivered to Options.OnJob
+// under the scheduler lock — strictly in transition order.
+type JobEvent struct {
+	Batch     string
+	Index     int
+	User      string
+	Src, Dst  ipv4.Addr
+	State     State
+	Coalesced bool
+	Err       error
+	// BatchDone marks the transition that made every job of the batch
+	// terminal: the batch's event stream can end after this event.
+	BatchDone bool
+}
 
 // JobSpec is one (src, dst) pair of a submitted batch.
 type JobSpec struct {
@@ -134,6 +161,13 @@ type Options struct {
 	// scheduler → callback — nothing may call into the scheduler while
 	// holding the callback's locks. nil means unlimited admission.
 	TryCharge func(user string) bool
+	// OnJob, when set, observes every job state transition (queued,
+	// running, coalesced, done, failed, shed — including admission
+	// outcomes inside Submit). It is called synchronously with the
+	// scheduler lock held, in exact transition order: it must be fast,
+	// must never block, and must not call back into the scheduler. The
+	// service bridges these events onto per-batch stream topics.
+	OnJob func(ev JobEvent)
 	// Obs receives scheduler metrics; nil disables them.
 	Obs *obs.Registry
 }
@@ -175,11 +209,19 @@ type Job struct {
 	admitted  time.Time // dispatch-latency base //revtr:wallclock observability timestamp, not simulation time
 }
 
-// Batch groups the jobs of one submission.
+// Batch groups the jobs of one submission. open counts its
+// non-terminal jobs (maintained by notifyLocked) so the final
+// transition can be flagged without rescanning the batch.
 type Batch struct {
 	id   string
 	user string
 	jobs []*Job
+	open int
+}
+
+// ref renders the job's executor-facing identity.
+func (j *Job) ref() JobRef {
+	return JobRef{Batch: j.batch.id, Index: j.idx, User: j.user, Src: j.src, Dst: j.dst}
 }
 
 // JobStatus is the externally visible snapshot of one job.
@@ -298,6 +340,26 @@ func (s *Scheduler) countState(st State) {
 	s.opts.Obs.Counter(obs.Label("sched_jobs_total", "state", st.String())).Inc()
 }
 
+// notifyLocked records one job state transition: it maintains the
+// batch's open-job count and delivers the transition to Options.OnJob.
+// Call exactly once per state assignment (including re-queue on
+// promotion, which re-announces "queued"), with s.mu held. The
+// transition that empties a batch is flagged BatchDone.
+func (s *Scheduler) notifyLocked(j *Job) {
+	if j.state.Terminal() {
+		j.batch.open--
+	}
+	if s.opts.OnJob == nil {
+		return
+	}
+	s.opts.OnJob(JobEvent{ //revtr:calls revtr/internal/service.Registry.publishJobEvent
+		Batch: j.batch.id, Index: j.idx, User: j.user,
+		Src: j.src, Dst: j.dst, State: j.state,
+		Coalesced: j.coalesced, Err: j.err,
+		BatchDone: j.state.Terminal() && j.batch.open == 0,
+	})
+}
+
 // countExecPanic tallies one recovered Exec/ExecAsync panic.
 func (s *Scheduler) countExecPanic() {
 	s.opts.Obs.Counter("sched_exec_panics_total").Inc()
@@ -400,6 +462,7 @@ func (s *Scheduler) Submit(ctx context.Context, user string, specs []JobSpec) (B
 	for i, spec := range specs {
 		j := &Job{batch: b, idx: i, user: user, src: spec.Src, dst: spec.Dst, admitted: now}
 		b.jobs = append(b.jobs, j)
+		b.open++
 		k := key{spec.Src, spec.Dst}
 		if e, ok := s.cache[k]; ok {
 			// Day-cache hit: resolved immediately, zero probes.
@@ -409,6 +472,7 @@ func (s *Scheduler) Submit(ctx context.Context, user string, specs []JobSpec) (B
 			s.mCacheHits.Inc()
 			s.mCoalesced.Inc()
 			s.countState(StateCoalesced)
+			s.notifyLocked(j)
 			continue
 		}
 		if f, ok := s.flights[k]; ok {
@@ -416,6 +480,7 @@ func (s *Scheduler) Submit(ctx context.Context, user string, specs []JobSpec) (B
 			f.subs = append(f.subs, j)
 			j.coalesced = true
 			s.countState(StateQueued)
+			s.notifyLocked(j)
 			continue
 		}
 		needed++
@@ -427,6 +492,7 @@ func (s *Scheduler) Submit(ctx context.Context, user string, specs []JobSpec) (B
 			capShed++
 			s.mShed.Inc()
 			s.countState(StateShed)
+			s.notifyLocked(j)
 			continue
 		}
 		if !s.tryChargeLocked(user) {
@@ -434,11 +500,13 @@ func (s *Scheduler) Submit(ctx context.Context, user string, specs []JobSpec) (B
 			j.err = ErrQuota
 			s.mShed.Inc()
 			s.countState(StateShed)
+			s.notifyLocked(j)
 			continue
 		}
 		s.flights[k] = &flight{leader: j}
 		s.enqueueLocked(j)
 		s.countState(StateQueued)
+		s.notifyLocked(j)
 	}
 	s.rememberBatchLocked(b)
 	s.mBatches.Inc()
@@ -529,6 +597,7 @@ func (s *Scheduler) worker(ctx context.Context) {
 		}
 		j.state = StateRunning
 		s.countState(StateRunning)
+		s.notifyLocked(j)
 		s.mDispatch.Observe(time.Since(j.admitted).Microseconds()) //revtr:wallclock dispatch-latency histogram measures real queueing delay
 		jctx, cancel := context.WithCancel(ctx)
 		s.running[j] = cancel
@@ -549,7 +618,7 @@ func (s *Scheduler) safeExec(ctx context.Context, j *Job) (res any, err error) {
 			res, err = nil, fmt.Errorf("sched: exec panic: %v", v)
 		}
 	}()
-	return s.exec(ctx, j.user, j.src, j.dst)
+	return s.exec(ctx, j.ref())
 }
 
 // dispatcher is the ExecAsync dispatch loop: one goroutine starts
@@ -578,6 +647,7 @@ func (s *Scheduler) dispatcher(ctx context.Context) {
 		}
 		j.state = StateRunning
 		s.countState(StateRunning)
+		s.notifyLocked(j)
 		s.mDispatch.Observe(time.Since(j.admitted).Microseconds()) //revtr:wallclock dispatch-latency histogram measures real queueing delay
 		jctx, cancel := context.WithCancel(ctx)
 		s.running[j] = cancel
@@ -609,7 +679,7 @@ func (s *Scheduler) execAsyncSafe(ctx context.Context, cancel context.CancelFunc
 			done(nil, fmt.Errorf("sched: exec panic: %v", v))
 		}
 	}()
-	s.opts.ExecAsync(ctx, j.user, j.src, j.dst, done) //revtr:calls revtr/internal/service.Registry.batchExecAsync
+	s.opts.ExecAsync(ctx, j.ref(), done) //revtr:calls revtr/internal/service.Registry.batchExecAsync
 }
 
 // nextLocked blocks until a job is dispatchable and picks it by
@@ -669,6 +739,7 @@ func (s *Scheduler) complete(j *Job, res any, err error) {
 		j.err = err
 		s.countState(StateFailed)
 	}
+	s.notifyLocked(j)
 
 	if f != nil {
 		subs := f.subs
@@ -689,6 +760,7 @@ func (s *Scheduler) complete(j *Job, res any, err error) {
 				sub.err = err
 				s.countState(StateFailed)
 			}
+			s.notifyLocked(sub)
 		}
 	}
 	s.progress.Broadcast()
@@ -714,6 +786,7 @@ func (s *Scheduler) promoteLocked(k key, subs []*Job) (failNow []*Job) {
 				sub.err = ErrQuota
 				s.mShed.Inc()
 				s.countState(StateShed)
+				s.notifyLocked(sub)
 				continue
 			}
 			newLeader = sub
@@ -727,6 +800,7 @@ func (s *Scheduler) promoteLocked(k key, subs []*Job) (failNow []*Job) {
 	newLeader.coalesced = false
 	s.flights[k] = &flight{leader: newLeader, subs: carried}
 	s.requeueFrontLocked(newLeader)
+	s.notifyLocked(newLeader) // re-announces "queued": leadership handoff
 	return failNow
 }
 
@@ -818,10 +892,12 @@ func (s *Scheduler) Revoke(user string) {
 			j.state = StateFailed
 			j.err = ErrRevoked
 			s.countState(StateFailed)
+			s.notifyLocked(j)
 			for _, sub := range failNow {
 				sub.state = StateFailed
 				sub.err = ErrRevoked
 				s.countState(StateFailed)
+				s.notifyLocked(sub)
 			}
 		}
 	}
@@ -833,6 +909,7 @@ func (s *Scheduler) Revoke(user string) {
 				sub.state = StateFailed
 				sub.err = ErrRevoked
 				s.countState(StateFailed)
+				s.notifyLocked(sub)
 				continue
 			}
 			kept = append(kept, sub)

@@ -74,7 +74,7 @@ func TestAsyncDispatchBoundsInFlight(t *testing.T) {
 	}
 	completions := make(chan pendingJob, jobs)
 	var inflight, peak atomic.Int64
-	execAsync := func(ctx context.Context, user string, src, dst ipv4.Addr, done func(res any, err error)) {
+	execAsync := func(ctx context.Context, job sched.JobRef, done func(res any, err error)) {
 		n := inflight.Add(1)
 		for {
 			m := peak.Load()
@@ -82,7 +82,7 @@ func TestAsyncDispatchBoundsInFlight(t *testing.T) {
 				break
 			}
 		}
-		completions <- pendingJob{src: src, dst: dst, done: done}
+		completions <- pendingJob{src: job.Src, dst: job.Dst, done: done}
 	}
 	o := obs.New()
 	s := sched.New(nil, sched.Options{ExecAsync: execAsync, MaxInFlight: maxInFlight, Obs: o})
@@ -128,8 +128,8 @@ func TestAsyncDispatchBoundsInFlight(t *testing.T) {
 // TestAsyncExecPanicFailsJob: a synchronous panic inside the ExecAsync
 // callback fails that job without killing the dispatcher.
 func TestAsyncExecPanicFailsJob(t *testing.T) {
-	execAsync := func(ctx context.Context, user string, src, dst ipv4.Addr, done func(res any, err error)) {
-		if dst == addr(300) {
+	execAsync := func(ctx context.Context, job sched.JobRef, done func(res any, err error)) {
+		if job.Dst == addr(300) {
 			panic("boom")
 		}
 		done("ok", nil)

@@ -28,7 +28,8 @@ type pureExec struct {
 
 func newPureExec() *pureExec { return &pureExec{calls: map[string]int{}} }
 
-func (e *pureExec) exec(ctx context.Context, user string, src, dst ipv4.Addr) (any, error) {
+func (e *pureExec) exec(ctx context.Context, job sched.JobRef) (any, error) {
+	src, dst := job.Src, job.Dst
 	k := src.String() + ">" + dst.String()
 	e.mu.Lock()
 	e.calls[k]++
@@ -143,9 +144,9 @@ func TestCoalescingDuplicateHeavyBatch(t *testing.T) {
 func TestFairShareDeficitRoundRobin(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
-	exec := func(ctx context.Context, user string, src, dst ipv4.Addr) (any, error) {
+	exec := func(ctx context.Context, job sched.JobRef) (any, error) {
 		mu.Lock()
-		order = append(order, user)
+		order = append(order, job.User)
 		mu.Unlock()
 		return "ok", nil
 	}
@@ -308,11 +309,11 @@ func TestRevokeCancelsQueuedAndRunning(t *testing.T) {
 	started := make(chan struct{}, 16)
 	release := make(chan struct{})
 	var schedRef *sched.Scheduler
-	exec := func(ctx context.Context, user string, src, dst ipv4.Addr) (any, error) {
+	exec := func(ctx context.Context, job sched.JobRef) (any, error) {
 		started <- struct{}{}
 		select {
 		case <-ctx.Done():
-			return nil, schedRef.WrapRevoked(user, ctx.Err())
+			return nil, schedRef.WrapRevoked(job.User, ctx.Err())
 		case <-release:
 			return "ok", nil
 		}
@@ -358,7 +359,7 @@ func TestRevokeCancelsQueuedAndRunning(t *testing.T) {
 // to everything coalesced onto it, and failures are not cached.
 func TestFailedLeaderFailsSubscribers(t *testing.T) {
 	var calls atomic.Int64
-	exec := func(ctx context.Context, user string, src, dst ipv4.Addr) (any, error) {
+	exec := func(ctx context.Context, job sched.JobRef) (any, error) {
 		calls.Add(1)
 		return nil, errors.New("measurement failed")
 	}
@@ -399,7 +400,7 @@ func TestWaitHonorsContext(t *testing.T) {
 // killing the worker, and the worker keeps serving.
 func TestExecPanicFailsJob(t *testing.T) {
 	var n atomic.Int64
-	exec := func(ctx context.Context, user string, src, dst ipv4.Addr) (any, error) {
+	exec := func(ctx context.Context, job sched.JobRef) (any, error) {
 		if n.Add(1) == 1 {
 			panic("backend exploded")
 		}

@@ -9,6 +9,7 @@ import (
 	"revtr/internal/core"
 	"revtr/internal/measure"
 	"revtr/internal/netsim/ipv4"
+	"revtr/internal/stream"
 )
 
 // DeploymentBackend fronts a simulated deployment: sources are hosts of
@@ -82,6 +83,20 @@ func (b *DeploymentBackend) Measure(ctx context.Context, src core.Source, dst ip
 // a backend panic, matching Measure's recover contract in the service).
 func (b *DeploymentBackend) MeasureAsync(ctx context.Context, src core.Source, dst ipv4.Addr, done func(*core.Result)) {
 	b.Engine.MeasureAsync(ctx, src, dst, done)
+}
+
+// MeasureStream implements StreamBackend: a blocking measurement that
+// reports hop-by-hop progress events to sink as the engine reveals the
+// reverse path.
+func (b *DeploymentBackend) MeasureStream(ctx context.Context, src core.Source, dst ipv4.Addr, sink func(stream.Event)) *core.Result {
+	return b.Engine.MeasureReverseStream(ctx, src, dst, sink)
+}
+
+// MeasureAsyncStream implements StreamAsyncBackend: MeasureAsync with
+// progress events flowing to sink from whichever pool executor resumes
+// the suspended machine.
+func (b *DeploymentBackend) MeasureAsyncStream(ctx context.Context, src core.Source, dst ipv4.Addr, sink func(stream.Event), done func(*core.Result)) {
+	b.Engine.MeasureAsyncStream(ctx, src, dst, sink, done)
 }
 
 // RefreshAtlas implements Backend with the deployment's atlas service.

@@ -59,6 +59,7 @@ func (r *Registry) EnableBatch(ctx context.Context, opts sched.Options) *sched.S
 	}
 	opts.Obs = r.obs
 	opts.TryCharge = r.tryCharge
+	opts.OnJob = r.publishJobEvent
 	if _, ok := r.backend.(AsyncBackend); ok && opts.ExecAsync == nil {
 		opts.ExecAsync = r.batchExecAsync
 	}
@@ -82,15 +83,20 @@ func (r *Registry) EnableBatch(ctx context.Context, opts sched.Options) *sched.S
 // the scheduler's worker bound is the batch concurrency control.
 // Cancelled or panicked measurements return an error so their partial
 // results never resolve coalesced subscribers or enter the day cache.
-func (r *Registry) batchExec(ctx context.Context, key string, src, dst ipv4.Addr) (any, error) {
+func (r *Registry) batchExec(ctx context.Context, job sched.JobRef) (any, error) {
+	key, src, dst := job.User, job.Src, job.Dst
 	r.mu.Lock()
 	reg, ok := r.sources[src]
 	sc := r.sched
+	name := ""
+	if u, known := r.users[key]; known {
+		name = u.Name
+	}
 	r.mu.Unlock()
 	if !ok {
 		return nil, ErrUnknownSource
 	}
-	res := r.safeMeasure(ctx, reg, dst)
+	res := r.safeMeasureStream(ctx, reg, dst, r.progressSink(job))
 	r.countBatchExec()
 	if res == nil {
 		return nil, sc.WrapRevoked(key, errors.New("service: backend panic"))
@@ -99,10 +105,12 @@ func (r *Registry) batchExec(ctx context.Context, key string, src, dst ipv4.Addr
 		return nil, sc.WrapRevoked(key, err)
 	}
 	m := buildMeasurement(src, dst, res)
+	m.User = name
 	r.obs.Counter(obs.Label("service_measure_status_total", "status", m.Status)).Inc()
 	if err := r.archiveMeasurement(m); err != nil {
 		return nil, err
 	}
+	r.publishMeasurement(m)
 	return m, nil
 }
 
@@ -114,10 +122,15 @@ func (r *Registry) batchExec(ctx context.Context, key string, src, dst ipv4.Addr
 // exactly as the blocking path holds it across safeMeasure, so
 // DailyMaintenance cannot swap atlas entries mid-measurement. Falls
 // back to the blocking batchExec when the backend is not asynchronous.
-func (r *Registry) batchExecAsync(ctx context.Context, key string, src, dst ipv4.Addr, done func(res any, err error)) {
+func (r *Registry) batchExecAsync(ctx context.Context, job sched.JobRef, done func(res any, err error)) {
+	key, src, dst := job.User, job.Src, job.Dst
 	r.mu.Lock()
 	reg, ok := r.sources[src]
 	sc := r.sched
+	name := ""
+	if u, known := r.users[key]; known {
+		name = u.Name
+	}
 	r.mu.Unlock()
 	if !ok {
 		done(nil, ErrUnknownSource)
@@ -125,14 +138,11 @@ func (r *Registry) batchExecAsync(ctx context.Context, key string, src, dst ipv4
 	}
 	ab, isAsync := r.backend.(AsyncBackend)
 	if !isAsync {
-		res, err := r.batchExec(ctx, key, src, dst)
+		res, err := r.batchExec(ctx, job)
 		done(res, err)
 		return
 	}
-	reg.atlasMu.RLock()
-	//revtr:heldacross the atlas read lock is pinned for the measurement's suspended lifetime — DailyMaintenance must not swap entries mid-measurement; the completion callback releases it
-	ab.MeasureAsync(ctx, reg.src, dst, func(res *core.Result) {
-		reg.atlasMu.RUnlock()
+	finish := func(res *core.Result) {
 		r.countBatchExec()
 		if res == nil {
 			r.countBackendPanic()
@@ -144,13 +154,31 @@ func (r *Registry) batchExecAsync(ctx context.Context, key string, src, dst ipv4
 			return
 		}
 		m := buildMeasurement(src, dst, res)
+		m.User = name
 		r.obs.Counter(obs.Label("service_measure_status_total", "status", m.Status)).Inc()
 		if err := r.archiveMeasurement(m); err != nil {
 			done(nil, err)
 			return
 		}
+		r.publishMeasurement(m)
 		done(m, nil)
-	})
+	}
+	sink := r.progressSink(job)
+	sab, canStream := r.backend.(StreamAsyncBackend)
+	reg.atlasMu.RLock()
+	if canStream && sink != nil {
+		//revtr:heldacross the atlas read lock is pinned for the measurement's suspended lifetime — DailyMaintenance must not swap entries mid-measurement; the completion callback releases it
+		sab.MeasureAsyncStream(ctx, reg.src, dst, sink, func(res *core.Result) {
+			reg.atlasMu.RUnlock()
+			finish(res)
+		})
+	} else {
+		//revtr:heldacross the atlas read lock is pinned for the measurement's suspended lifetime — DailyMaintenance must not swap entries mid-measurement; the completion callback releases it
+		ab.MeasureAsync(ctx, reg.src, dst, func(res *core.Result) {
+			reg.atlasMu.RUnlock()
+			finish(res)
+		})
+	}
 }
 
 // countBatchExec tallies one finished batch measurement attempt.
@@ -253,6 +281,14 @@ func (r *Registry) RevokeUser(adminKey, key string) error {
 	r.mu.Unlock()
 	if !ok {
 		return ErrUnknownUser
+	}
+	// Close the revoked key's event streams with an explicit end/revoked
+	// before revoking its jobs: revocation fails the user's queued jobs,
+	// which can turn a batch terminal and publish a normal end/done —
+	// closing first guarantees the user's subscribers always see the
+	// revocation as the terminal reason.
+	if b := r.broker.Load(); b != nil {
+		b.CloseUser(key, "revoked")
 	}
 	if sc != nil {
 		sc.Revoke(key)

@@ -13,6 +13,7 @@ import (
 	"revtr/internal/netsim/ipv4"
 	"revtr/internal/obs"
 	"revtr/internal/sched"
+	"revtr/internal/stream"
 )
 
 // API is the HTTP front end (the REST flavour of the Appendix A APIs).
@@ -24,6 +25,8 @@ import (
 //	GET  /api/v1/revtr/{id}       fetch a stored measurement
 //	POST /api/v1/batch            submit an async batch (202)    (X-API-Key)
 //	GET  /api/v1/batch/{id}       poll a batch's per-job states  (X-API-Key)
+//	GET  /api/v1/batch/{id}/events  follow a batch live (NDJSON) (X-API-Key)
+//	GET  /api/v1/firehose         follow completed measurements  (X-API-Key)
 //	DELETE /api/v1/users/{key}    admin: revoke a key + cancel its batch jobs
 //	GET  /api/v1/stats            service statistics
 //	GET  /api/v1/health           liveness (JSON)
@@ -47,6 +50,14 @@ type API struct {
 	// means unbounded allocation even though the queue cap sheds them.
 	// <= 0 means the default 10000.
 	MaxBatchPairs int
+
+	// HeartbeatInterval paces keep-alive lines on idle event streams
+	// (/events, /firehose). <= 0 means 15s.
+	HeartbeatInterval time.Duration
+
+	// FirehoseReplay caps the ?replay= parameter of GET /api/v1/firehose
+	// (archived measurements served before going live). <= 0 means 64.
+	FirehoseReplay int
 }
 
 // defaultMaxBatchPairs bounds a POST /api/v1/batch submission when
@@ -63,6 +74,8 @@ func NewAPI(reg *Registry) *API {
 	a.mux.HandleFunc("GET /api/v1/revtr/{id}", a.handleGet)
 	a.mux.HandleFunc("POST /api/v1/batch", a.handleBatchSubmit)
 	a.mux.HandleFunc("GET /api/v1/batch/{id}", a.handleBatchStatus)
+	a.mux.HandleFunc("GET /api/v1/batch/{id}/events", a.handleBatchEvents)
+	a.mux.HandleFunc("GET /api/v1/firehose", a.handleFirehose)
 	a.mux.HandleFunc("DELETE /api/v1/users/{key}", a.handleRevokeUser)
 	a.mux.HandleFunc("POST /api/v1/ndt", a.handleNDT)
 	a.mux.HandleFunc("GET /api/v1/stats", a.handleStats)
@@ -96,6 +109,16 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so the NDJSON event streams can
+// push partial responses; without it the wrapper would mask the
+// Flusher interface and events would sit buffered until the handler
+// returned.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 // handleHealthz is the plain-text liveness probe for load balancers and
@@ -140,8 +163,11 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, sched.ErrUnknownBatch), errors.Is(err, ErrUnknownUser):
 		code = http.StatusNotFound
 	case errors.Is(err, sched.ErrOverloaded), errors.Is(err, sched.ErrStopped),
-		errors.Is(err, ErrBatchDisabled):
+		errors.Is(err, ErrBatchDisabled), errors.Is(err, ErrStreamDisabled),
+		errors.Is(err, stream.ErrShutdown):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, stream.ErrTooManySubscribers), errors.Is(err, stream.ErrTooManyTopics):
+		code = http.StatusTooManyRequests
 	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }

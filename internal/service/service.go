@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"revtr/internal/core"
@@ -22,6 +23,7 @@ import (
 	"revtr/internal/obs"
 	"revtr/internal/sched"
 	"revtr/internal/store"
+	"revtr/internal/stream"
 )
 
 // User is a registered API user with the two rate-limit parameters the
@@ -47,9 +49,12 @@ type SourceInfo struct {
 
 // Measurement is a stored reverse traceroute result.
 type Measurement struct {
-	ID         int           `json:"id"`
-	Src        string        `json:"src"`
-	Dst        string        `json:"dst"`
+	ID  int    `json:"id"`
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+	// User is the requesting user's name (never the API key); empty for
+	// NDT-triggered measurements. Firehose owner-scoping matches on it.
+	User       string        `json:"user,omitempty"`
 	Status     string        `json:"status"`
 	Hops       []MeasuredHop `json:"hops"`
 	DurationUS int64         `json:"durationUs"`
@@ -106,6 +111,11 @@ type Registry struct {
 	adminKey    string
 	ndtInFlight int
 	obs         *obs.Registry
+
+	// broker is the progress-streaming fan-out; nil until EnableStream.
+	// Atomic because publishJobEvent reads it under sched.mu, where
+	// taking r.mu is forbidden (lock order sched.mu → r.mu).
+	broker atomic.Pointer[stream.Broker]
 }
 
 type registeredSource struct {
@@ -289,10 +299,12 @@ func (r *Registry) Measure(ctx context.Context, key string, srcAddr, dstAddr ipv
 	}
 
 	m := buildMeasurement(srcAddr, dstAddr, res)
+	m.User = u.Name
 	r.obs.Counter(obs.Label("service_measure_status_total", "status", m.Status)).Inc()
 	if err := r.archiveMeasurement(m); err != nil {
 		return nil, err
 	}
+	r.publishMeasurement(m)
 	return m, nil
 }
 
@@ -348,6 +360,13 @@ func (r *Registry) archiveMeasurement(m *Measurement) error {
 // and converts a backend panic into a nil result instead of letting it
 // unwind through the service.
 func (r *Registry) safeMeasure(ctx context.Context, reg *registeredSource, dst ipv4.Addr) (res *core.Result) {
+	return r.safeMeasureStream(ctx, reg, dst, nil)
+}
+
+// safeMeasureStream is safeMeasure with an optional progress sink:
+// when the backend can stream (StreamBackend) and a sink is given,
+// hop-by-hop events flow to it as the measurement runs.
+func (r *Registry) safeMeasureStream(ctx context.Context, reg *registeredSource, dst ipv4.Addr, sink func(stream.Event)) (res *core.Result) {
 	reg.atlasMu.RLock()
 	defer reg.atlasMu.RUnlock()
 	defer func() {
@@ -356,6 +375,11 @@ func (r *Registry) safeMeasure(ctx context.Context, reg *registeredSource, dst i
 			res = nil
 		}
 	}()
+	if sink != nil {
+		if sb, ok := r.backend.(StreamBackend); ok {
+			return sb.MeasureStream(ctx, reg.src, dst, sink)
+		}
+	}
 	return r.backend.Measure(ctx, reg.src, dst)
 }
 
@@ -487,6 +511,7 @@ func (r *Registry) NDT(ctx context.Context, serverAddr, clientAddr ipv4.Addr) (*
 	if err := r.archiveMeasurement(m); err != nil {
 		return nil, err
 	}
+	r.publishMeasurement(m)
 	return m, nil
 }
 
